@@ -1,0 +1,95 @@
+package masq
+
+import (
+	"os"
+	"testing"
+
+	"masq/internal/bench"
+)
+
+// runExperiment drives one registered reproduction and prints the
+// regenerated table — the rows/series the paper reports — after the timed
+// section. Simulated metrics live in the table; wall-clock ns/op measures
+// the harness itself.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		tbl = e.Run()
+	}
+	b.StopTimer()
+	tbl.Render(os.Stdout)
+}
+
+// --- Tables -------------------------------------------------------------
+
+func BenchmarkTable1Verbs(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkTable2ErrorState(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkTable4SecurityOps(b *testing.B) { runExperiment(b, "table4") }
+func BenchmarkTable5MaxVMs(b *testing.B)      { runExperiment(b, "table5") }
+
+// TestTable2ErrorState re-checks the Table 2 semantics as a plain test so
+// `go test` exercises it without -bench.
+func TestTable2ErrorState(t *testing.T) {
+	e, ok := bench.Lookup("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	tbl := e.Run()
+	want := map[int]string{
+		0: "allowed", 1: "allowed",
+		4: "dropped", 5: "none",
+	}
+	for idx, expect := range want {
+		if got := tbl.Rows[idx][2]; got != expect {
+			t.Errorf("row %d (%s): observed %q, want %q", idx, tbl.Rows[idx][1], got, expect)
+		}
+	}
+}
+
+// --- Microbenchmarks (Figs. 8–12) ----------------------------------------
+
+func BenchmarkFig8aLatency2B(b *testing.B)  { runExperiment(b, "fig8a") }
+func BenchmarkFig8bDataVerbs(b *testing.B)  { runExperiment(b, "fig8b") }
+func BenchmarkFig9PFvsVF(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10Throughput(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11QPScaling(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12RateLimit(b *testing.B)  { runExperiment(b, "fig12") }
+
+// --- MPI (Figs. 13–14) ----------------------------------------------------
+
+func BenchmarkFig13MPIPt2pt(b *testing.B)       { runExperiment(b, "fig13") }
+func BenchmarkFig14MPICollectives(b *testing.B) { runExperiment(b, "fig14") }
+
+// --- Control path (Figs. 15–18) -------------------------------------------
+
+func BenchmarkFig15ConnSetup(b *testing.B)      { runExperiment(b, "fig15") }
+func BenchmarkFig16LayerBreakdown(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig17Timeline(b *testing.B)       { runExperiment(b, "fig17") }
+func BenchmarkFig18ResetCost(b *testing.B)      { runExperiment(b, "fig18") }
+
+// --- Scalability (Fig. 19) --------------------------------------------------
+
+func BenchmarkFig19VMScaling(b *testing.B) { runExperiment(b, "fig19") }
+
+// --- Applications (Figs. 20–23) ----------------------------------------------
+
+func BenchmarkFig20Graph500(b *testing.B)    { runExperiment(b, "fig20") }
+func BenchmarkFig21KVS(b *testing.B)         { runExperiment(b, "fig21") }
+func BenchmarkFig22Spark(b *testing.B)       { runExperiment(b, "fig22") }
+func BenchmarkFig23SparkStages(b *testing.B) { runExperiment(b, "fig23") }
+
+// --- Ablations (DESIGN.md Sec. 5) ----------------------------------------------
+
+func BenchmarkAblationRenameGranularity(b *testing.B) { runExperiment(b, "abl-rename") }
+func BenchmarkAblationControllerCache(b *testing.B)   { runExperiment(b, "abl-cache") }
+func BenchmarkAblationConntrack(b *testing.B)         { runExperiment(b, "abl-conntrack") }
+func BenchmarkAblationQoSGrouping(b *testing.B)       { runExperiment(b, "abl-qos") }
+func BenchmarkAblationVirtioBatch(b *testing.B)       { runExperiment(b, "abl-virtio-batch") }
+func BenchmarkAblationNICCache(b *testing.B)          { runExperiment(b, "abl-nic-cache") }
+func BenchmarkAblationMTUTax(b *testing.B)            { runExperiment(b, "abl-mtu") }
+func BenchmarkAblationTransport(b *testing.B)         { runExperiment(b, "abl-transport") }

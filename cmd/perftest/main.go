@@ -1,0 +1,103 @@
+// Command perftest is the simulation's ib_send_lat / ib_write_lat /
+// ib_send_bw / ib_write_bw: it builds a two-host testbed, connects a QP
+// pair under the chosen virtualization system, and runs the selected
+// microbenchmark.
+//
+//	perftest -op send_lat -mode masq -size 2 -iters 1000
+//	perftest -op write_bw -mode host-rdma -size 65536 -iters 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"masq"
+)
+
+var modes = map[string]masq.Mode{
+	"host-rdma": masq.ModeHost,
+	"sr-iov":    masq.ModeSRIOV,
+	"masq":      masq.ModeMasQ,
+	"masq-pf":   masq.ModeMasQPF,
+	"freeflow":  masq.ModeFreeFlow,
+}
+
+func main() {
+	op := flag.String("op", "send_lat", "send_lat | write_lat | send_bw | write_bw")
+	modeName := flag.String("mode", "masq", "host-rdma | sr-iov | masq | masq-pf | freeflow")
+	size := flag.Int("size", 2, "message size in bytes")
+	iters := flag.Int("iters", 1000, "iterations")
+	window := flag.Int("window", 64, "posting window (bandwidth tests)")
+	rate := flag.Float64("rate", 0, "tenant rate limit in Gbps (masq only; 0 = none)")
+	pcap := flag.String("pcap", "", "capture the underlay traffic to this pcap file")
+	flag.Parse()
+
+	mode, ok := modes[*modeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "perftest: unknown mode %q\n", *modeName)
+		os.Exit(1)
+	}
+	pair, err := masq.NewConnectedPair(masq.DefaultConfig(), mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perftest: %v\n", err)
+		os.Exit(1)
+	}
+	if *rate > 0 {
+		if mode != masq.ModeMasQ {
+			fmt.Fprintln(os.Stderr, "perftest: -rate applies to masq mode only")
+			os.Exit(1)
+		}
+		if err := pair.TB.Backend(0).SetTenantRateLimit(100, *rate*1e9); err != nil {
+			fmt.Fprintf(os.Stderr, "perftest: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	eng := pair.TB.Eng
+	var tap *masq.LinkTap
+	if *pcap != "" {
+		tap = pair.TB.Links[0].AttachTap()
+	}
+
+	fmt.Printf("# %s, %s, %d B x %d iters\n", *op, *modeName, *size, *iters)
+	fmt.Printf("# client VM %v -> server VM %v over hosts %v -> %v\n",
+		pair.ClientNode.VIP, pair.ServerNode.VIP, pair.TB.Hosts[0].IP, pair.TB.Hosts[1].IP)
+
+	switch *op {
+	case "send_lat", "write_lat":
+		var ev = masq.StartSendLat(eng, pair.Client, pair.Server, *size, *iters)
+		if *op == "write_lat" {
+			ev = masq.StartWriteLat(eng, pair.Client, pair.Server, *size, *iters)
+		}
+		eng.Run()
+		r := ev.Value()
+		fmt.Printf("%-10s %-8s %-8s %-8s %-8s\n", "iters", "min", "avg", "p99", "max")
+		fmt.Printf("%-10d %-8v %-8v %-8v %-8v\n", r.Iters, r.Min, r.Avg, r.P99, r.Max)
+	case "send_bw", "write_bw":
+		var ev = masq.StartSendBW(eng, pair.Client, pair.Server, *size, *iters, *window)
+		if *op == "write_bw" {
+			ev = masq.StartWriteBW(eng, pair.Client, pair.Server, *size, *iters, *window)
+		}
+		eng.Run()
+		r := ev.Value()
+		fmt.Printf("%-10s %-12s %-12s %-10s\n", "msgs", "bytes", "Gbps", "Mops")
+		fmt.Printf("%-10d %-12d %-12.2f %-10.3f\n", r.Msgs, r.Bytes, r.Gbps(), r.Mops())
+	default:
+		fmt.Fprintf(os.Stderr, "perftest: unknown op %q\n", *op)
+		os.Exit(1)
+	}
+
+	if tap != nil {
+		f, err := os.Create(*pcap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perftest: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := masq.WriteTapPcap(f, tap); err != nil {
+			fmt.Fprintf(os.Stderr, "perftest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# captured %d frames to %s (wireshark-readable)\n", len(tap.Frames()), *pcap)
+	}
+}

@@ -1,0 +1,45 @@
+// Package masq is a complete, simulation-backed reproduction of
+// "MasQ: RDMA for Virtual Private Cloud" (SIGCOMM 2020): software-defined
+// RDMA network virtualization in which software defines the communication
+// rules on the control path and (simulated) hardware executes the
+// communication operations on the data path.
+//
+// The package is a facade over the full system, which lives under
+// internal/ (see DESIGN.md for the inventory):
+//
+//   - a deterministic discrete-event simulation engine (virtual time, no
+//     wall clock anywhere),
+//   - a packet-level RoCEv2 RNIC model — QPs, CQs, MRs, the Fig. 5 state
+//     machine, RC/UD transports with PSN sequencing and go-back-N
+//     retransmission, SR-IOV functions and hardware rate limiters,
+//   - hosts, QEMU-style VMs with layered guest memory, containers, a
+//     virtio transport, a VXLAN overlay with security groups, and an SDN
+//     controller,
+//   - MasQ itself: the paravirtual frontend/backend drivers, vBond,
+//     RConnrename and RConntrack,
+//   - the three comparison systems of the paper's evaluation (Host-RDMA,
+//     SR-IOV passthrough, FreeFlow), and
+//   - the evaluation workloads (perftest, MPI + OSU benchmarks, Graph500,
+//     a HERD-style KVS, an RDMA-Spark model).
+//
+// # Quick start
+//
+//	pair, err := masq.NewConnectedPair(masq.DefaultConfig(), masq.ModeMasQ)
+//	if err != nil { ... }
+//	pair.TB.Eng.Spawn("app", func(p *masq.Proc) {
+//	    c := pair.Client
+//	    c.Node.Write(c.Buf, []byte("hello vpc"))
+//	    c.QP.PostSend(p, masq.SendWR{Op: masq.WRSend, LocalAddr: c.Buf,
+//	        LKey: c.MR.LKey(), Len: 9})
+//	    wc := c.SCQ.Wait(p)
+//	    _ = wc
+//	})
+//	pair.TB.Eng.Run()
+//
+// Everything happens in virtual time: a benchmark that "runs for a
+// minute" completes in a second of wall clock and produces identical
+// results on every run.
+//
+// The experiment registry (Experiments, RunExperiment) regenerates every
+// table and figure of the paper's Sec. 4; cmd/masqbench is its CLI.
+package masq

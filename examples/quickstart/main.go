@@ -1,0 +1,77 @@
+// Quickstart: two VMs in one VPC exchange messages over MasQ-virtualized
+// RDMA — an RC SEND/RECV ping followed by a one-sided RDMA WRITE — and the
+// program prints what happened on the (virtual) wire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"masq"
+)
+
+func main() {
+	// A testbed like the paper's: two hosts, 40 Gbps, one tenant, and a
+	// connected RC endpoint pair between two MasQ VMs.
+	pair, err := masq.NewConnectedPair(masq.DefaultConfig(), masq.ModeMasQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := pair.TB.Eng
+	client, server := pair.Client, pair.Server
+
+	fmt.Println("== MasQ quickstart ==")
+	fmt.Printf("client VM %v (vGID %v) -> server VM %v\n",
+		client.Node.VIP, client.GID, server.Node.VIP)
+	fmt.Printf("underlay: host %v -> host %v (RConnrename rewrote the QPC)\n\n",
+		pair.TB.Hosts[0].IP, pair.TB.Hosts[1].IP)
+
+	// Two-sided: SEND / RECV.
+	eng.Spawn("server", func(p *masq.Proc) {
+		s := server
+		s.QP.PostRecv(p, masq.RecvWR{WRID: 1, Addr: s.Buf, LKey: s.MR.LKey(), Len: s.Len})
+		wc := s.RCQ.Wait(p)
+		buf := make([]byte, wc.ByteLen)
+		s.Node.Read(s.Buf, buf)
+		fmt.Printf("[%8v] server received %q (%d bytes, status %v)\n",
+			p.Now(), buf, wc.ByteLen, wc.Status)
+	})
+	eng.Spawn("client", func(p *masq.Proc) {
+		c := client
+		msg := []byte("hello through the VPC")
+		c.Node.Write(c.Buf, msg)
+		start := p.Now()
+		c.QP.PostSend(p, masq.SendWR{
+			WRID: 2, Op: masq.WRSend, LocalAddr: c.Buf, LKey: c.MR.LKey(), Len: len(msg),
+		})
+		wc := c.SCQ.Wait(p)
+		fmt.Printf("[%8v] client send completed in %v (status %v)\n",
+			p.Now(), p.Now().Sub(start), wc.Status)
+	})
+	eng.Run()
+
+	// One-sided: RDMA WRITE straight into the server's registered buffer —
+	// no server CPU involved.
+	eng.Spawn("writer", func(p *masq.Proc) {
+		c := client
+		peer := server.Info()
+		payload := []byte("one-sided write, no remote CPU")
+		c.Node.Write(c.Buf, payload)
+		start := p.Now()
+		c.QP.PostSend(p, masq.SendWR{
+			WRID: 3, Op: masq.WRWrite, LocalAddr: c.Buf, LKey: c.MR.LKey(), Len: len(payload),
+			RemoteAddr: peer.Addr, RKey: peer.RKey,
+		})
+		wc := c.SCQ.Wait(p)
+		buf := make([]byte, len(payload))
+		server.Node.Read(server.Buf, buf)
+		fmt.Printf("[%8v] RDMA WRITE done in %v (status %v); server memory now holds %q\n",
+			p.Now(), p.Now().Sub(start), wc.Status, buf)
+	})
+	eng.Run()
+
+	d0, d1 := pair.TB.Hosts[0].Dev.Stats, pair.TB.Hosts[1].Dev.Stats
+	fmt.Printf("\nwire traffic: host0 tx %d pkts / host1 tx %d pkts, 0 retransmits: %v\n",
+		d0.TxPackets, d1.TxPackets, d0.Retransmits+d1.Retransmits == 0)
+	fmt.Println("all timing above is virtual time on the simulated testbed")
+}

@@ -1,0 +1,3 @@
+module masq
+
+go 1.22

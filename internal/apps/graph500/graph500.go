@@ -1,0 +1,355 @@
+// Package graph500 implements the Graph500 benchmark of the paper's
+// Sec. 4.4.1 (Fig. 20): Kronecker (R-MAT) graph generation, a distributed
+// level-synchronized BFS (kernel 2) and a distributed Bellman-Ford SSSP
+// (kernel 3) over the MPI runtime, result validation, and the TEPS
+// (traversed edges per second) metric. Vertices are 1-D partitioned by
+// rank; frontier expansions travel as batched RDMA messages.
+//
+// The paper runs scale=26; the scale here is a parameter and defaults to a
+// laptop-size graph — TEPS comparisons across virtualization systems are
+// ratio experiments, so shrinking the graph preserves the result shape.
+package graph500
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"masq/internal/apps/mpi"
+	"masq/internal/simtime"
+)
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Scale      int   // 2^Scale vertices
+	EdgeFactor int   // edges per vertex (Graph500 default 16)
+	Seed       int64 // generator seed
+	// EdgeCost is the CPU time to process one edge during traversal,
+	// scaled by the node's virtualization factor.
+	EdgeCost simtime.Duration
+}
+
+// DefaultConfig is a laptop-scale graph.
+func DefaultConfig() Config {
+	return Config{Scale: 10, EdgeFactor: 16, Seed: 1, EdgeCost: 2 * simtime.Nanosecond}
+}
+
+// Edge is one (undirected) generated edge.
+type Edge struct{ U, V uint32 }
+
+// Generate produces the Kronecker edge list with the Graph500 R-MAT
+// parameters (A=0.57, B=0.19, C=0.19). It is a pure function of cfg, so
+// every rank — and the validator — sees the same graph.
+func Generate(cfg Config) []Edge {
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([]Edge, m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := range edges {
+		u, v := 0, 0
+		for bit := 0; bit < cfg.Scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges[i] = Edge{U: uint32(u), V: uint32(v)}
+	}
+	return edges
+}
+
+// Result reports one kernel run.
+type Result struct {
+	Time      simtime.Duration
+	Traversed int64 // edges in the traversed component
+	Visited   int
+	TEPS      float64
+}
+
+// graph is a rank's partition: adjacency of owned vertices.
+type graph struct {
+	cfg   Config
+	n     int // total vertices
+	ranks int
+	adj   map[uint32][]uint32
+}
+
+func buildLocal(cfg Config, rankID, ranks int) *graph {
+	g := &graph{cfg: cfg, n: 1 << cfg.Scale, ranks: ranks, adj: make(map[uint32][]uint32)}
+	for _, e := range Generate(cfg) {
+		if e.U == e.V {
+			continue
+		}
+		if int(e.U)%ranks == rankID {
+			g.adj[e.U] = append(g.adj[e.U], e.V)
+		}
+		if int(e.V)%ranks == rankID {
+			g.adj[e.V] = append(g.adj[e.V], e.U)
+		}
+	}
+	return g
+}
+
+func (g *graph) owner(v uint32) int { return int(v) % g.ranks }
+
+// pair batches travel as (vertex, parent) uint32 pairs with a 1-byte
+// continuation flag in front.
+func encodePairs(pairs []uint32, more bool) []byte {
+	b := make([]byte, 1+4*len(pairs))
+	if more {
+		b[0] = 1
+	}
+	for i, v := range pairs {
+		binary.LittleEndian.PutUint32(b[1+4*i:], v)
+	}
+	return b
+}
+
+func decodePairs(b []byte) (pairs []uint32, more bool) {
+	more = b[0] == 1
+	pairs = make([]uint32, (len(b)-1)/4)
+	for i := range pairs {
+		pairs[i] = binary.LittleEndian.Uint32(b[1+4*i:])
+	}
+	return pairs, more
+}
+
+// exchange performs the per-level all-to-all of batched pairs.
+func exchange(p *simtime.Proc, r *mpi.Rank, out [][]uint32, maxMsg int) ([]uint32, error) {
+	maxPairs := (maxMsg - 1) / 4
+	n := r.World.Size
+	var in []uint32
+	// Round k: send toward (me+k) while draining (me-k). Chunks are
+	// interleaved one-for-one so at most one chunk per peer is in flight
+	// and the pre-posted receive slots can never be exhausted.
+	for k := 1; k < n; k++ {
+		dst := (r.ID + k) % n
+		src := (r.ID - k + n) % n
+		batch := out[dst]
+		sendDone, recvDone := false, false
+		for !sendDone || !recvDone {
+			if !sendDone {
+				chunk := batch
+				more := false
+				if len(chunk) > maxPairs {
+					chunk, batch, more = batch[:maxPairs], batch[maxPairs:], true
+				}
+				if err := r.Send(p, dst, encodePairs(chunk, more)); err != nil {
+					return nil, err
+				}
+				sendDone = !more
+			}
+			if !recvDone {
+				msg, err := r.Recv(p, src)
+				if err != nil {
+					return nil, err
+				}
+				pairs, more := decodePairs(msg)
+				in = append(in, pairs...)
+				recvDone = !more
+			}
+		}
+	}
+	return in, nil
+}
+
+// RunBFS runs kernel 2 from the given root and returns per-rank results
+// (identical on every rank): time, visited count, traversed edges, TEPS.
+func RunBFS(w *mpi.World, cfg Config, root uint32) (Result, error) {
+	if cfg.Scale == 0 {
+		cfg = DefaultConfig()
+	}
+	results := make([]Result, w.Size)
+	maxMsg := mpi.DefaultOptions().MaxMsg
+	err := w.Run(func(p *simtime.Proc, r *mpi.Rank) error {
+		g := buildLocal(cfg, r.ID, w.Size)
+		parent := make(map[uint32]uint32)
+		var frontier []uint32
+		if g.owner(root) == r.ID {
+			parent[root] = root
+			frontier = []uint32{root}
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		var traversed int64
+		for {
+			out := make([][]uint32, w.Size)
+			edgesScanned := 0
+			for _, u := range frontier {
+				for _, v := range g.adj[u] {
+					edgesScanned++
+					out[g.owner(v)] = append(out[g.owner(v)], v, u)
+				}
+			}
+			traversed += int64(edgesScanned)
+			if edgesScanned > 0 {
+				r.Node.Compute(p, simtime.Duration(edgesScanned)*cfg.EdgeCost)
+			}
+			in, err := exchange(p, r, out, maxMsg)
+			if err != nil {
+				return err
+			}
+			// Local pairs stay local.
+			in = append(in, out[r.ID]...)
+			frontier = frontier[:0]
+			for i := 0; i+1 < len(in); i += 2 {
+				v, u := in[i], in[i+1]
+				if _, seen := parent[v]; !seen {
+					parent[v] = u
+					frontier = append(frontier, v)
+				}
+			}
+			sum, err := r.Allreduce(p, []float64{float64(len(frontier))})
+			if err != nil {
+				return err
+			}
+			if sum[0] == 0 {
+				break
+			}
+		}
+		elapsed := p.Now().Sub(start)
+		total, err := r.Allreduce(p, []float64{float64(traversed), float64(len(parent))})
+		if err != nil {
+			return err
+		}
+		res := Result{
+			Time:      elapsed,
+			Traversed: int64(total[0]),
+			Visited:   int(total[1]),
+		}
+		if elapsed > 0 {
+			res.TEPS = float64(res.Traversed) / elapsed.Seconds()
+		}
+		results[r.ID] = res
+		return validateBFS(cfg, w.Size, r.ID, parent, root)
+	})
+	return results[0], err
+}
+
+// validateBFS checks the rank's slice of the parent tree against the
+// regenerated graph: the root is its own parent, and every other parent
+// edge exists in the input.
+func validateBFS(cfg Config, ranks, rankID int, parent map[uint32]uint32, root uint32) error {
+	edgeSet := make(map[[2]uint32]bool)
+	for _, e := range Generate(cfg) {
+		edgeSet[[2]uint32{e.U, e.V}] = true
+		edgeSet[[2]uint32{e.V, e.U}] = true
+	}
+	for v, u := range parent {
+		if int(v)%ranks != rankID {
+			return fmt.Errorf("graph500: rank %d holds foreign vertex %d", rankID, v)
+		}
+		if v == root {
+			if u != root {
+				return fmt.Errorf("graph500: root parent is %d", u)
+			}
+			continue
+		}
+		if !edgeSet[[2]uint32{u, v}] {
+			return fmt.Errorf("graph500: parent edge (%d,%d) not in graph", u, v)
+		}
+	}
+	return nil
+}
+
+// RunSSSP runs kernel 3: distributed Bellman-Ford with deterministic
+// per-edge weights in (0,1].
+func RunSSSP(w *mpi.World, cfg Config, root uint32) (Result, error) {
+	if cfg.Scale == 0 {
+		cfg = DefaultConfig()
+	}
+	results := make([]Result, w.Size)
+	maxMsg := mpi.DefaultOptions().MaxMsg
+	err := w.Run(func(p *simtime.Proc, r *mpi.Rank) error {
+		g := buildLocal(cfg, r.ID, w.Size)
+		dist := make(map[uint32]float64)
+		var frontier []uint32
+		if g.owner(root) == r.ID {
+			dist[root] = 0
+			frontier = []uint32{root}
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		var traversed int64
+		for {
+			out := make([][]uint32, w.Size)
+			edgesScanned := 0
+			for _, u := range frontier {
+				du := dist[u]
+				for _, v := range g.adj[u] {
+					edgesScanned++
+					nd := du + weight(u, v)
+					out[g.owner(v)] = append(out[g.owner(v)], v, floatBits(nd))
+				}
+			}
+			traversed += int64(edgesScanned)
+			if edgesScanned > 0 {
+				r.Node.Compute(p, simtime.Duration(edgesScanned)*cfg.EdgeCost)
+			}
+			in, err := exchange(p, r, out, maxMsg)
+			if err != nil {
+				return err
+			}
+			in = append(in, out[r.ID]...)
+			frontier = frontier[:0]
+			seen := make(map[uint32]bool)
+			for i := 0; i+1 < len(in); i += 2 {
+				v, nd := in[i], bitsFloat(in[i+1])
+				if cur, ok := dist[v]; !ok || nd < cur {
+					dist[v] = nd
+					if !seen[v] {
+						seen[v] = true
+						frontier = append(frontier, v)
+					}
+				}
+			}
+			sum, err := r.Allreduce(p, []float64{float64(len(frontier))})
+			if err != nil {
+				return err
+			}
+			if sum[0] == 0 {
+				break
+			}
+		}
+		elapsed := p.Now().Sub(start)
+		total, err := r.Allreduce(p, []float64{float64(traversed), float64(len(dist))})
+		if err != nil {
+			return err
+		}
+		res := Result{Time: elapsed, Traversed: int64(total[0]), Visited: int(total[1])}
+		if elapsed > 0 {
+			res.TEPS = float64(res.Traversed) / elapsed.Seconds()
+		}
+		results[r.ID] = res
+		return nil
+	})
+	return results[0], err
+}
+
+// weight is a deterministic pseudo-random edge weight in (0,1].
+func weight(u, v uint32) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	h := uint64(u)*2654435761 ^ uint64(v)*40503
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h%1000000+1) / 1000000
+}
+
+// float32 bit packing keeps the pair wire format at two uint32s.
+func floatBits(f float64) uint32 { return uint32(f * 1e6) }
+func bitsFloat(b uint32) float64 { return float64(b) / 1e6 }

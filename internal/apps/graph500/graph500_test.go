@@ -1,0 +1,164 @@
+package graph500
+
+import (
+	"testing"
+
+	"masq/internal/apps/mpi"
+	"masq/internal/cluster"
+)
+
+func world(t *testing.T, mode cluster.Mode, ranks int) *mpi.World {
+	t.Helper()
+	tb := cluster.New(cluster.DefaultConfig())
+	tb.AddTenant(100, "hpc")
+	tb.AllowAll(100)
+	nodes, err := mpi.SpawnRanks(tb, mode, 100, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(tb, nodes, mpi.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func smallCfg() Config {
+	return Config{Scale: 8, EdgeFactor: 8, Seed: 7, EdgeCost: 2}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallCfg()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) || len(a) != (1<<cfg.Scale)*cfg.EdgeFactor {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generation is not deterministic")
+		}
+	}
+	n := uint32(1 << cfg.Scale)
+	for _, e := range a {
+		if e.U >= n || e.V >= n {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+	}
+}
+
+func TestGenerateIsSkewed(t *testing.T) {
+	// R-MAT graphs are power-law-ish: low-numbered vertices get far more
+	// edges than a uniform split would give them.
+	cfg := smallCfg()
+	edges := Generate(cfg)
+	n := 1 << cfg.Scale
+	lowQuarter := 0
+	for _, e := range edges {
+		if int(e.U) < n/4 {
+			lowQuarter++
+		}
+	}
+	if float64(lowQuarter)/float64(len(edges)) < 0.4 {
+		t.Fatalf("low quarter holds only %d/%d edge sources; not skewed", lowQuarter, len(edges))
+	}
+}
+
+// referenceBFS computes distances single-threaded for cross-checking.
+func referenceBFS(cfg Config, root uint32) map[uint32]int {
+	adj := make(map[uint32][]uint32)
+	for _, e := range Generate(cfg) {
+		if e.U == e.V {
+			continue
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	dist := map[uint32]int{root: 0}
+	queue := []uint32{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	cfg := smallCfg()
+	ref := referenceBFS(cfg, 0)
+	w := world(t, cluster.ModeMasQ, 4)
+	res, err := RunBFS(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != len(ref) {
+		t.Fatalf("visited %d vertices, reference %d", res.Visited, len(ref))
+	}
+	if res.TEPS <= 0 || res.Time <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestBFSValidatesParents(t *testing.T) {
+	// RunBFS already runs validateBFS on every rank; a pass is the assertion.
+	w := world(t, cluster.ModeHost, 2)
+	if _, err := RunBFS(w, smallCfg(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPVisitsComponent(t *testing.T) {
+	cfg := smallCfg()
+	ref := referenceBFS(cfg, 0)
+	w := world(t, cluster.ModeMasQ, 4)
+	res, err := RunSSSP(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSSP reaches exactly the BFS component.
+	if res.Visited != len(ref) {
+		t.Fatalf("SSSP visited %d, component size %d", res.Visited, len(ref))
+	}
+	// Bellman-Ford re-relaxes: traversed ≥ BFS traversed.
+	if res.TEPS <= 0 {
+		t.Fatalf("TEPS = %v", res.TEPS)
+	}
+}
+
+func TestTEPSComparableAcrossModes(t *testing.T) {
+	cfg := smallCfg()
+	teps := map[cluster.Mode]float64{}
+	for _, mode := range []cluster.Mode{cluster.ModeHost, cluster.ModeMasQ, cluster.ModeSRIOV} {
+		w := world(t, mode, 4)
+		res, err := RunBFS(w, cfg, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		teps[mode] = res.TEPS
+	}
+	// Fig. 20: MasQ has almost no degradation vs Host-RDMA and SR-IOV.
+	if r := teps[cluster.ModeMasQ] / teps[cluster.ModeHost]; r < 0.75 || r > 1.05 {
+		t.Errorf("masq/host TEPS ratio = %.2f", r)
+	}
+	if r := teps[cluster.ModeMasQ] / teps[cluster.ModeSRIOV]; r < 0.9 || r > 1.1 {
+		t.Errorf("masq/sriov TEPS ratio = %.2f", r)
+	}
+}
+
+func TestWeightDeterministicSymmetric(t *testing.T) {
+	if weight(3, 9) != weight(9, 3) {
+		t.Fatal("weight must be symmetric")
+	}
+	if weight(3, 9) <= 0 || weight(3, 9) > 1 {
+		t.Fatalf("weight out of range: %v", weight(3, 9))
+	}
+	if weight(1, 2) == weight(1, 3) {
+		t.Fatal("weights suspiciously equal")
+	}
+}

@@ -1,0 +1,352 @@
+// Package kvs implements the key-value-store experiment of the paper's
+// Sec. 4.4.2 (Fig. 21): a HERD-derived server with a fixed pool of worker
+// threads serving GET/PUT requests over RC RPC (the paper revised HERD's
+// RPC to use RC only). The server is structured the way HERD structures
+// it: each worker owns one completion queue and one shared receive queue
+// that all of its client connections draw from, and responses are posted
+// unsignaled so the worker polls only request arrivals. A variable number
+// of pipelined client threads issue a 95% GET / 5% PUT uniform workload;
+// the aggregate throughput exposes each virtualization system's
+// per-message cost — the RNIC pipeline caps MasQ and Host-RDMA near
+// 10 Mops, SR-IOV pays the IOMMU, and FreeFlow's FFR saturates ~0.5 Mops.
+package kvs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"masq/internal/cluster"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+)
+
+// Config parameterizes the store and workload.
+type Config struct {
+	Workers     int     // server worker threads (paper: 14)
+	KeysPerW    int     // keys per worker partition (paper: 8M; scaled down)
+	KeySize     int     // bytes (paper: 16)
+	ValSize     int     // bytes (paper: 32)
+	GetFraction float64 // paper: 0.95
+	Seed        int64
+	// ProcessCost is the CPU time a worker spends on one request
+	// (hash lookup + response build), scaled by virtualization.
+	ProcessCost simtime.Duration
+}
+
+// DefaultConfig mirrors the paper with a laptop-scale key count.
+func DefaultConfig() Config {
+	return Config{
+		Workers:     14,
+		KeysPerW:    4096,
+		KeySize:     16,
+		ValSize:     32,
+		GetFraction: 0.95,
+		Seed:        42,
+		ProcessCost: simtime.Us(0.35),
+	}
+}
+
+// Result is the aggregate server throughput.
+type Result struct {
+	Ops     int
+	Hits    int
+	Elapsed simtime.Duration
+}
+
+// Mops returns millions of operations per second.
+func (r Result) Mops() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// Request/response opcodes.
+const (
+	opGet byte = 1
+	opPut byte = 2
+
+	respOK       byte = 0
+	respNotFound byte = 1
+)
+
+const (
+	srqSlots = 64  // shared receive WQEs per worker
+	slotLen  = 256 // request slot size
+	respRing = 32  // response staging slots per worker
+)
+
+// worker is one server thread: CQ + SRQ + the QPs of its clients.
+type worker struct {
+	cq     verbs.CQ
+	srq    verbs.SRQ
+	qps    map[uint32]verbs.QP
+	region uint64 // base VA of this worker's slots + staging
+	lkey   uint32
+	store  map[string][]byte
+}
+
+// Run executes the benchmark: the server node hosts cfg.Workers workers;
+// nClients pipelined clients each issue opsPerClient requests.
+func Run(tb *cluster.Testbed, server *cluster.Node, client *cluster.Node, nClients, opsPerClient int, cfg Config) (Result, error) {
+	if cfg.Workers == 0 {
+		cfg = DefaultConfig()
+	}
+	// Populate partitions (setup time is not part of the measurement).
+	workers := make([]*worker, cfg.Workers)
+	keys := make([][]string, cfg.Workers)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for w := range workers {
+		workers[w] = &worker{qps: make(map[uint32]verbs.QP), store: make(map[string][]byte, cfg.KeysPerW)}
+		for k := 0; k < cfg.KeysPerW; k++ {
+			key := make([]byte, cfg.KeySize)
+			rng.Read(key)
+			val := make([]byte, cfg.ValSize)
+			rng.Read(val)
+			workers[w].store[string(key)] = val
+			keys[w] = append(keys[w], string(key))
+		}
+	}
+
+	// Server resources: one device/PD/MR; per worker a CQ + SRQ; one QP
+	// per client connection attached to its worker's pool.
+	type cliConn struct {
+		ep     *cluster.Endpoint
+		worker int
+	}
+	conns := make([]*cliConn, nClients)
+	wireup := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("kvs-wireup", func(p *simtime.Proc) {
+		dev, err := server.Device(p)
+		if err != nil {
+			wireup.Trigger(err)
+			return
+		}
+		pd, err := dev.AllocPD(p)
+		if err != nil {
+			wireup.Trigger(err)
+			return
+		}
+		regionLen := srqSlots*slotLen + respRing*slotLen
+		base, err := server.Alloc(cfg.Workers * regionLen)
+		if err != nil {
+			wireup.Trigger(err)
+			return
+		}
+		mr, err := dev.RegMR(p, pd, base, cfg.Workers*regionLen, verbs.AccessLocalWrite)
+		if err != nil {
+			wireup.Trigger(err)
+			return
+		}
+		gid, err := dev.QueryGID(p)
+		if err != nil {
+			wireup.Trigger(err)
+			return
+		}
+		for w, wk := range workers {
+			if wk.cq, err = dev.CreateCQ(p, 4*srqSlots); err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			if wk.srq, err = dev.CreateSRQ(p, srqSlots); err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			wk.region = base + uint64(w*regionLen)
+			wk.lkey = mr.LKey()
+			for s := 0; s < srqSlots; s++ {
+				wk.srq.PostRecv(p, verbs.RecvWR{
+					WRID: uint64(s), Addr: wk.region + uint64(s*slotLen),
+					LKey: wk.lkey, Len: slotLen,
+				})
+			}
+		}
+		// Client endpoints + server QPs.
+		epOpts := cluster.EndpointOpts{
+			BufLen: 64 * 1024, Access: verbs.AccessLocalWrite, Type: verbs.RC,
+			CQE: 256, Caps: verbs.QPCaps{MaxSendWR: 64, MaxRecvWR: 64},
+			SharedCQ: true,
+		}
+		for i := range conns {
+			w := i % cfg.Workers
+			wk := workers[w]
+			cep, err := client.Setup(p, epOpts)
+			if err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			caps := verbs.QPCaps{MaxSendWR: 64, SRQ: wk.srq.Raw()}
+			sqp, err := dev.CreateQP(p, pd, wk.cq, wk.cq, verbs.RC, caps)
+			if err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			if err := cep.ConnectRC(p, verbs.ConnInfo{GID: gid, QPN: sqp.Num()}); err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateInit}); err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateRTR, DGID: cep.GID, DQPN: cep.QP.Num()}); err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateRTS}); err != nil {
+				wireup.Trigger(err)
+				return
+			}
+			wk.qps[sqp.Num()] = sqp
+			conns[i] = &cliConn{ep: cep, worker: w}
+		}
+		wireup.Trigger(nil)
+	})
+	tb.Eng.Run()
+	if !wireup.Triggered() || wireup.Value() != nil {
+		return Result{}, fmt.Errorf("kvs: wire-up failed: %v", wireup.Value())
+	}
+
+	var totalOps, hits int
+	var firstStart, lastEnd simtime.Time
+	started := 0
+	finished := simtime.NewEvent[error](tb.Eng)
+	var runErr error
+
+	// Server workers: poll the shared CQ; every completion is a request
+	// (responses are unsignaled).
+	for w, wk := range workers {
+		w, wk := w, wk
+		tb.Eng.Spawn(fmt.Sprintf("kvs-worker-%d", w), func(p *simtime.Proc) {
+			respSlot := 0
+			for {
+				wc, ok := wk.cq.WaitTimeout(p, simtime.Ms(500))
+				if !ok {
+					return // clients done
+				}
+				if wc.Status != verbs.WCSuccess || !wc.Recv {
+					continue
+				}
+				addr := wk.region + wc.WRID*slotLen
+				req := make([]byte, wc.ByteLen)
+				server.Read(addr, req)
+				wk.srq.PostRecv(p, verbs.RecvWR{WRID: wc.WRID, Addr: addr, LKey: wk.lkey, Len: slotLen})
+
+				server.Compute(p, cfg.ProcessCost)
+				var resp []byte
+				key := string(req[1 : 1+cfg.KeySize])
+				switch req[0] {
+				case opGet:
+					if val, ok := wk.store[key]; ok {
+						resp = append([]byte{respOK}, val...)
+						hits++
+					} else {
+						resp = []byte{respNotFound}
+					}
+				case opPut:
+					val := make([]byte, cfg.ValSize)
+					copy(val, req[1+cfg.KeySize:])
+					wk.store[key] = val
+					resp = []byte{respOK}
+				}
+				staging := wk.region + uint64(srqSlots*slotLen) + uint64((respSlot%respRing)*slotLen)
+				respSlot++
+				server.Write(staging, resp)
+				qp := wk.qps[wc.QPN]
+				qp.PostSend(p, verbs.SendWR{
+					WRID: 1, Op: verbs.WRSend, LocalAddr: staging, LKey: wk.lkey,
+					Len: len(resp), Unsignaled: true,
+				})
+			}
+		})
+	}
+
+	// Clients: pipelined request windows.
+	remaining := nClients
+	for i, cn := range conns {
+		i, cn := i, cn
+		w := cn.worker
+		tb.Eng.Spawn(fmt.Sprintf("kvs-cli-%d", i), func(p *simtime.Proc) {
+			cep := cn.ep
+			crng := rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))
+			const window = 4
+			cliSlot := 64 * 1024 / (window + 2)
+			for s := 0; s < window+1; s++ {
+				cep.QP.PostRecv(p, verbs.RecvWR{
+					WRID: uint64(s), Addr: cep.Buf + uint64(s*cliSlot),
+					LKey: cep.MR.LKey(), Len: cliSlot,
+				})
+			}
+			stagingBase := cep.Buf + uint64((window+1)*cliSlot)
+			if started == 0 {
+				firstStart = p.Now()
+			}
+			started++
+			issue := func(op int) error {
+				key := keys[w][crng.Intn(len(keys[w]))]
+				var req []byte
+				if crng.Float64() < cfg.GetFraction {
+					req = append([]byte{opGet}, key...)
+				} else {
+					req = append([]byte{opPut}, key...)
+					val := make([]byte, cfg.ValSize)
+					binary.LittleEndian.PutUint64(val, uint64(op))
+					req = append(req, val...)
+				}
+				staging := stagingBase + uint64((op%window)*256)
+				client.Write(staging, req)
+				return cep.QP.PostSend(p, verbs.SendWR{
+					WRID: 1, Op: verbs.WRSend, LocalAddr: staging, LKey: cep.MR.LKey(),
+					Len: len(req), Unsignaled: true,
+				})
+			}
+			issued, completed := 0, 0
+			for issued < window && issued < opsPerClient {
+				if err := issue(issued); err != nil {
+					runErr = err
+					break
+				}
+				issued++
+			}
+			for completed < opsPerClient && runErr == nil {
+				wc := cep.RCQ.Wait(p) // shared CQ; only responses arrive
+				if wc.Status != verbs.WCSuccess {
+					runErr = fmt.Errorf("kvs: client completion: %v", wc.Status)
+					break
+				}
+				if !wc.Recv {
+					continue
+				}
+				completed++
+				totalOps++
+				cep.QP.PostRecv(p, verbs.RecvWR{
+					WRID: wc.WRID, Addr: cep.Buf + wc.WRID*uint64(cliSlot),
+					LKey: cep.MR.LKey(), Len: cliSlot,
+				})
+				if issued < opsPerClient {
+					if err := issue(issued); err != nil {
+						runErr = err
+						break
+					}
+					issued++
+				}
+			}
+			if p.Now() > lastEnd {
+				lastEnd = p.Now()
+			}
+			remaining--
+			if remaining == 0 {
+				finished.Trigger(runErr)
+			}
+		})
+	}
+	tb.Eng.Run()
+	if !finished.Triggered() {
+		return Result{}, fmt.Errorf("kvs: benchmark stalled (pending: %v)", tb.Eng.PendingProcs())
+	}
+	if err := finished.Value(); err != nil {
+		return Result{}, err
+	}
+	return Result{Ops: totalOps, Hits: hits, Elapsed: lastEnd.Sub(firstStart)}, nil
+}

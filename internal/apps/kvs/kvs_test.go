@@ -1,0 +1,102 @@
+package kvs
+
+import (
+	"testing"
+
+	"masq/internal/cluster"
+	"masq/internal/packet"
+)
+
+func nodes(t *testing.T, mode cluster.Mode) (*cluster.Testbed, *cluster.Node, *cluster.Node) {
+	t.Helper()
+	tb := cluster.New(cluster.DefaultConfig())
+	tb.AddTenant(100, "kv")
+	tb.AllowAll(100)
+	server, err := tb.NewNode(mode, 1, 100, packet.NewIP(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := tb.NewNode(mode, 0, 100, packet.NewIP(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, server, client
+}
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.KeysPerW = 256
+	return cfg
+}
+
+func TestKVSCorrectness(t *testing.T) {
+	tb, server, client := nodes(t, cluster.ModeMasQ)
+	cfg := smallCfg()
+	res, err := Run(tb, server, client, 2, 200, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 400 {
+		t.Fatalf("ops = %d, want 400", res.Ops)
+	}
+	// Uniform keys over the populated set: GETs nearly always hit.
+	if res.Hits < res.Ops*80/100 {
+		t.Fatalf("hits = %d of %d ops; uniform GETs over populated keys should hit", res.Hits, res.Ops)
+	}
+	if res.Mops() <= 0 {
+		t.Fatalf("Mops = %v", res.Mops())
+	}
+}
+
+func TestKVSThroughputScalesWithClients(t *testing.T) {
+	run := func(clients int) float64 {
+		tb, server, client := nodes(t, cluster.ModeMasQ)
+		res, err := Run(tb, server, client, clients, 400, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mops()
+	}
+	two := run(2)
+	eight := run(8)
+	if eight < two*1.8 {
+		t.Fatalf("throughput did not scale: 2 clients %.2f Mops, 8 clients %.2f Mops", two, eight)
+	}
+}
+
+func TestKVSMasQNearHostFreeFlowFarBehind(t *testing.T) {
+	run := func(mode cluster.Mode) float64 {
+		tb, server, client := nodes(t, mode)
+		res, err := Run(tb, server, client, 10, 300, smallCfg())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		return res.Mops()
+	}
+	host := run(cluster.ModeHost)
+	mq := run(cluster.ModeMasQ)
+	ff := run(cluster.ModeFreeFlow)
+	// Fig. 21 shape: MasQ ≈ Host; FreeFlow an order of magnitude lower.
+	if r := mq / host; r < 0.9 || r > 1.1 {
+		t.Errorf("masq/host = %.2f (masq %.2f, host %.2f Mops)", r, mq, host)
+	}
+	if ff > mq/3 {
+		t.Errorf("freeflow %.2f Mops vs masq %.2f — expected a large gap", ff, mq)
+	}
+}
+
+func TestKVSSRIOVPaysIOMMU(t *testing.T) {
+	run := func(mode cluster.Mode) float64 {
+		tb, server, client := nodes(t, mode)
+		res, err := Run(tb, server, client, 14, 400, smallCfg())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		return res.Mops()
+	}
+	mq := run(cluster.ModeMasQ)
+	sr := run(cluster.ModeSRIOV)
+	if sr >= mq {
+		t.Fatalf("sr-iov (%.2f Mops) should trail masq (%.2f) by the IOMMU cost", sr, mq)
+	}
+}

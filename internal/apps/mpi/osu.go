@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"fmt"
+
+	"masq/internal/cluster"
+	"masq/internal/simtime"
+)
+
+// OSU-style microbenchmarks (Figs. 13 and 14). Each returns after driving
+// the engine.
+
+// PtToPtLatency is osu_latency: a ping-pong between ranks 0 and 1,
+// reporting the average one-way latency.
+func PtToPtLatency(w *World, size, iters int) (simtime.Duration, error) {
+	var lat simtime.Duration
+	err := w.Run(func(p *simtime.Proc, r *Rank) error {
+		if r.ID > 1 {
+			return nil
+		}
+		msg := make([]byte, size)
+		if r.ID == 0 {
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				if err := r.Send(p, 1, msg); err != nil {
+					return err
+				}
+				if _, err := r.Recv(p, 1); err != nil {
+					return err
+				}
+			}
+			lat = p.Now().Sub(start) / simtime.Duration(2*iters)
+			return nil
+		}
+		for i := 0; i < iters; i++ {
+			in, err := r.Recv(p, 0)
+			if err != nil {
+				return err
+			}
+			if err := r.Send(p, 0, in); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return lat, err
+}
+
+// PtToPtBandwidth is osu_bw: rank 0 streams windowed messages to rank 1,
+// which acknowledges each window. Returns goodput in Gbps.
+func PtToPtBandwidth(w *World, size, iters, window int) (float64, error) {
+	if window <= 0 {
+		window = 32
+	}
+	var gbps float64
+	err := w.Run(func(p *simtime.Proc, r *Rank) error {
+		if r.ID > 1 {
+			return nil
+		}
+		msg := make([]byte, size)
+		windows := iters / window
+		if r.ID == 0 {
+			start := p.Now()
+			for wi := 0; wi < windows; wi++ {
+				pe := r.peers[1]
+				for i := 0; i < window; i++ {
+					if _, err := r.postSend(p, 1, msg); err != nil {
+						return err
+					}
+				}
+				for i := 0; i < window; i++ {
+					if wc := pe.ep.SCQ.Wait(p); wc.Status != 0 {
+						return fmt.Errorf("send failed: %v", wc.Status)
+					}
+				}
+				if _, err := r.Recv(p, 1); err != nil { // window ack
+					return err
+				}
+			}
+			elapsed := p.Now().Sub(start)
+			gbps = float64(windows*window*size*8) / elapsed.Seconds() / 1e9
+			return nil
+		}
+		for wi := 0; wi < windows; wi++ {
+			for i := 0; i < window; i++ {
+				if _, err := r.Recv(p, 0); err != nil {
+					return err
+				}
+			}
+			if err := r.Send(p, 0, []byte{1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return gbps, err
+}
+
+// BcastLatency is osu_bcast: average time for a broadcast to complete
+// across all ranks (root rotates as in the OSU suite).
+func BcastLatency(w *World, size, iters int) (simtime.Duration, error) {
+	var lat simtime.Duration
+	err := w.Run(func(p *simtime.Proc, r *Rank) error {
+		msg := make([]byte, size)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			root := i % w.Size
+			if _, err := r.Bcast(p, root, msg); err != nil {
+				return err
+			}
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		if r.ID == 0 {
+			// Exclude the closing barrier's own cost estimate: one
+			// dissemination round trip is negligible next to iters bcasts.
+			lat = p.Now().Sub(start) / simtime.Duration(iters)
+		}
+		return nil
+	})
+	return lat, err
+}
+
+// AllreduceLatency is osu_allreduce: average completion time of a float64
+// sum across ranks.
+func AllreduceLatency(w *World, size, iters int) (simtime.Duration, error) {
+	var lat simtime.Duration
+	n := size / 8
+	if n == 0 {
+		n = 1
+	}
+	err := w.Run(func(p *simtime.Proc, r *Rank) error {
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = float64(r.ID)
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := r.Allreduce(p, vec); err != nil {
+				return err
+			}
+		}
+		if r.ID == 0 {
+			lat = p.Now().Sub(start) / simtime.Duration(iters)
+		}
+		return nil
+	})
+	return lat, err
+}
+
+// SpawnRanks assigns n ranks round-robin across the testbed's hosts under
+// the given mode, one VM/container per host shared by its ranks — the
+// paper's setup ("16 MPI processes that distribute on two VMs/hosts in a
+// round-robin fashion"). Co-located ranks communicate through RDMA
+// loopback on the shared device.
+func SpawnRanks(tb *cluster.Testbed, mode cluster.Mode, vni uint32, n int) ([]*cluster.Node, error) {
+	nodes := make([]*cluster.Node, 0, n)
+	perHost := make(map[int]*cluster.Node)
+	for i := 0; i < n; i++ {
+		host := i % len(tb.Hosts)
+		nd, ok := perHost[host]
+		if !ok {
+			var err error
+			nd, err = tb.NewNode(mode, host, vni, [4]byte{10, 10, 0, byte(1 + host)})
+			if err != nil {
+				return nil, err
+			}
+			perHost[host] = nd
+		}
+		nodes = append(nodes, nd)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,106 @@
+package sparksim
+
+import (
+	"testing"
+
+	"masq/internal/cluster"
+	"masq/internal/packet"
+	"masq/internal/simtime"
+)
+
+func nodesFor(t *testing.T, mode cluster.Mode) (*cluster.Testbed, *cluster.Node, *cluster.Node) {
+	t.Helper()
+	tb := cluster.New(cluster.DefaultConfig())
+	tb.AddTenant(100, "spark")
+	tb.AllowAll(100)
+	a, err := tb.NewNode(mode, 0, 100, packet.NewIP(10, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tb.NewNode(mode, 1, 100, packet.NewIP(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, a, b
+}
+
+// smallCfg shrinks the dataset so tests run fast; stage shapes carry over.
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Records = 16384
+	return cfg
+}
+
+func TestGroupByStages(t *testing.T) {
+	tb, a, b := nodesFor(t, cluster.ModeHost)
+	res, err := RunGroupBy(tb, a, b, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 2 || res.Stages[0].Name != "FlatMap" || res.Stages[1].Name != "GroupByKey" {
+		t.Fatalf("stages = %+v", res.Stages)
+	}
+	if res.Total < res.Stages[0].Time || res.Total < res.Stages[1].Time {
+		t.Fatalf("total %v below a stage time", res.Total)
+	}
+	// 2048 records/mapper × 85µs ≈ 174ms map stage on bare metal.
+	if res.Stages[0].Time < simtime.Ms(150) || res.Stages[0].Time > simtime.Ms(220) {
+		t.Fatalf("FlatMap = %v", res.Stages[0].Time)
+	}
+}
+
+func TestSortBySlowerThanGroupBy(t *testing.T) {
+	tb, a, b := nodesFor(t, cluster.ModeHost)
+	g, err := RunGroupBy(tb, a, b, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, a2, b2 := nodesFor(t, cluster.ModeHost)
+	s, err := RunSortBy(tb2, a2, b2, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total <= g.Total {
+		t.Fatalf("SortBy (%v) should exceed GroupBy (%v)", s.Total, g.Total)
+	}
+	if s.Stage("SortByKey") == 0 {
+		t.Fatal("missing SortByKey stage")
+	}
+}
+
+// TestFig23Shape: FlatMap is slower in VMs (MasQ/SR-IOV) than on the host
+// or in containers (FreeFlow); the shuffle stage is nearly equal across
+// RDMA systems.
+func TestFig23Shape(t *testing.T) {
+	times := map[cluster.Mode]JobResult{}
+	for _, mode := range []cluster.Mode{cluster.ModeHost, cluster.ModeMasQ, cluster.ModeFreeFlow} {
+		tb, a, b := nodesFor(t, mode)
+		res, err := RunGroupBy(tb, a, b, smallCfg())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		times[mode] = res
+	}
+	hostMap := times[cluster.ModeHost].Stage("FlatMap")
+	mqMap := times[cluster.ModeMasQ].Stage("FlatMap")
+	ffMap := times[cluster.ModeFreeFlow].Stage("FlatMap")
+	if mqMap <= hostMap {
+		t.Errorf("VM FlatMap (%v) should exceed host (%v)", mqMap, hostMap)
+	}
+	if r := float64(ffMap) / float64(hostMap); r < 0.95 || r > 1.05 {
+		t.Errorf("container FlatMap (%v) should match host (%v)", ffMap, hostMap)
+	}
+	// Shuffle stage ratios stay close (network-bound + reduce compute).
+	hostS := times[cluster.ModeHost].Stage("GroupByKey")
+	mqS := times[cluster.ModeMasQ].Stage("GroupByKey")
+	if r := float64(mqS) / float64(hostS); r < 1.0 || r > 1.35 {
+		t.Errorf("GroupByKey masq/host ratio = %.2f (masq %v, host %v)", r, mqS, hostS)
+	}
+}
+
+func TestJobStageLookup(t *testing.T) {
+	r := JobResult{Stages: []StageResult{{Name: "X", Time: 5}}}
+	if r.Stage("X") != 5 || r.Stage("Y") != 0 {
+		t.Fatal("Stage lookup")
+	}
+}

@@ -1,0 +1,199 @@
+// Package hostrdma implements the bare-metal verbs provider: applications
+// run on the host itself and the driver talks straight to the RNIC's
+// physical function. This is the paper's "Host-RDMA" candidate — the
+// upper-bound against which every virtualization system is measured.
+//
+// The same driver logic, pointed at a virtual function with IOMMU
+// remapping, is the SR-IOV passthrough baseline (package sriov wraps it).
+package hostrdma
+
+import (
+	"fmt"
+
+	"masq/internal/mem"
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+)
+
+// Resolver maps a destination GID to its underlay addressing (the job ARP
+// and the kernel neighbor table do on a real host).
+type Resolver func(gid packet.GID) (packet.IP, packet.MAC, bool)
+
+// Config wires a provider to its device function and application memory.
+type Config struct {
+	ProviderName string // defaults to "host-rdma"
+	Dev          *rnic.Device
+	Fn           *rnic.Func
+	// Mem is the address space application buffers live in. For the host
+	// case this is the process HVA space; for passthrough it is the guest
+	// space, and pinning resolves through every layer.
+	Mem     *mem.AddrSpace
+	Resolve Resolver
+}
+
+// Provider is the direct-driver verbs provider.
+type Provider struct {
+	cfg Config
+}
+
+// New returns a provider over cfg.
+func New(cfg Config) *Provider {
+	if cfg.ProviderName == "" {
+		cfg.ProviderName = "host-rdma"
+	}
+	return &Provider{cfg: cfg}
+}
+
+// Name implements verbs.Provider.
+func (pr *Provider) Name() string { return pr.cfg.ProviderName }
+
+// Open implements verbs.Provider (get_device_list + open_device).
+func (pr *Provider) Open(p *simtime.Proc) (verbs.Device, error) {
+	pr.cfg.Dev.GetDeviceList(p)
+	pr.cfg.Dev.Open(p)
+	return &device{cfg: pr.cfg}, nil
+}
+
+type device struct {
+	cfg Config
+}
+
+type pd struct{ pd *rnic.PD }
+
+func (x pd) Handle() uint32 { return x.pd.Num }
+
+func (d *device) AllocPD(p *simtime.Proc) (verbs.PD, error) {
+	return pd{d.cfg.Dev.AllocPD(p, d.cfg.Fn)}, nil
+}
+
+type mr struct {
+	d  *device
+	mr *rnic.MR
+	va uint64
+	ln int
+}
+
+func (m mr) LKey() uint32 { return m.mr.LKey }
+func (m mr) RKey() uint32 { return m.mr.RKey }
+func (m mr) Addr() uint64 { return m.va }
+func (m mr) Len() int     { return m.ln }
+
+func (m mr) Dereg(p *simtime.Proc) error {
+	m.d.cfg.Dev.DeregMR(p, m.d.cfg.Fn, m.mr)
+	return m.d.cfg.Mem.UnpinToPhys(m.va, m.ln)
+}
+
+func (d *device) RegMR(p *simtime.Proc, vpd verbs.PD, va uint64, length int, access verbs.Access) (verbs.MR, error) {
+	rpd, ok := vpd.(pd)
+	if !ok {
+		return nil, fmt.Errorf("hostrdma: foreign PD handle")
+	}
+	ext, err := d.cfg.Mem.PinToPhys(va, length)
+	if err != nil {
+		return nil, err
+	}
+	r := d.cfg.Dev.RegMR(p, d.cfg.Fn, rpd.pd, va, length, ext, access)
+	return mr{d: d, mr: r, va: va, ln: length}, nil
+}
+
+type cq struct {
+	d  *device
+	cq *rnic.CQ
+}
+
+func (c cq) TryPoll(p *simtime.Proc) (verbs.WC, bool) { return c.cq.TryPoll(p) }
+func (c cq) Wait(p *simtime.Proc) verbs.WC            { return c.cq.Wait(p) }
+func (c cq) WaitTimeout(p *simtime.Proc, t simtime.Duration) (verbs.WC, bool) {
+	return c.cq.WaitTimeout(p, t)
+}
+func (c cq) Destroy(p *simtime.Proc) error {
+	c.d.cfg.Dev.DestroyCQ(p, c.d.cfg.Fn, c.cq)
+	return nil
+}
+
+func (d *device) CreateCQ(p *simtime.Proc, cqe int) (verbs.CQ, error) {
+	return cq{d: d, cq: d.cfg.Dev.CreateCQ(p, d.cfg.Fn, cqe)}, nil
+}
+
+type qp struct {
+	d  *device
+	qp *rnic.QP
+}
+
+func (q qp) Num() uint32        { return q.qp.Num }
+func (q qp) State() verbs.State { return q.qp.State() }
+
+func (q qp) Modify(p *simtime.Proc, a verbs.Attr) error {
+	attr := rnic.Attr{ToState: a.ToState, QKey: a.QKey}
+	if a.ToState == rnic.StateRTR && a.DQPN != 0 {
+		ip, mac, ok := q.d.resolve(a.DGID)
+		if !ok {
+			return fmt.Errorf("hostrdma: no route to GID %v", a.DGID)
+		}
+		attr.AV = rnic.AddressVector{DGID: a.DGID, DIP: ip, DMAC: mac, DQPN: a.DQPN}
+	}
+	return q.d.cfg.Dev.ModifyQP(p, q.qp, attr)
+}
+
+func (q qp) PostSend(p *simtime.Proc, wr verbs.SendWR) error { return q.qp.PostSend(p, wr) }
+func (q qp) PostRecv(p *simtime.Proc, wr verbs.RecvWR) error { return q.qp.PostRecv(p, wr) }
+
+func (q qp) Destroy(p *simtime.Proc) error {
+	q.d.cfg.Dev.DestroyQP(p, q.qp)
+	return nil
+}
+
+func (d *device) CreateQP(p *simtime.Proc, vpd verbs.PD, send, recv verbs.CQ, typ verbs.QPType, caps verbs.QPCaps) (verbs.QP, error) {
+	rpd, ok := vpd.(pd)
+	if !ok {
+		return nil, fmt.Errorf("hostrdma: foreign PD handle")
+	}
+	scq, ok1 := send.(cq)
+	rcq, ok2 := recv.(cq)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("hostrdma: foreign CQ handle")
+	}
+	return qp{d: d, qp: d.cfg.Dev.CreateQP(p, d.cfg.Fn, rpd.pd, scq.cq, rcq.cq, typ, caps)}, nil
+}
+
+type srq struct {
+	d *device
+	s *rnic.SRQ
+}
+
+func (x srq) PostRecv(p *simtime.Proc, wr verbs.RecvWR) error { return x.s.PostRecv(p, wr) }
+func (x srq) Len() int                                        { return x.s.Len() }
+func (x srq) Raw() *rnic.SRQ                                  { return x.s }
+func (x srq) Destroy(p *simtime.Proc) error {
+	x.d.cfg.Dev.DestroySRQ(p, x.d.cfg.Fn, x.s)
+	return nil
+}
+
+func (d *device) CreateSRQ(p *simtime.Proc, maxWR int) (verbs.SRQ, error) {
+	return srq{d: d, s: d.cfg.Dev.CreateSRQ(p, d.cfg.Fn, maxWR)}, nil
+}
+
+func (d *device) QueryGID(p *simtime.Proc) (packet.GID, error) {
+	return d.cfg.Dev.QueryGID(p, d.cfg.Fn, 0), nil
+}
+
+func (d *device) Close(p *simtime.Proc) error {
+	d.cfg.Dev.Close(p)
+	return nil
+}
+
+// resolve falls back to deriving the IP from an IPv4-mapped GID and asking
+// the resolver only for the MAC when one is configured.
+func (d *device) resolve(gid packet.GID) (packet.IP, packet.MAC, bool) {
+	if d.cfg.Resolve != nil {
+		return d.cfg.Resolve(gid)
+	}
+	ip, ok := gid.IP()
+	if !ok {
+		return packet.IP{}, packet.MAC{}, false
+	}
+	// Direct-link default: unknown MAC floods anyway.
+	return ip, packet.BroadcastMAC, true
+}

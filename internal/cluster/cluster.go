@@ -1,0 +1,363 @@
+// Package cluster assembles complete testbeds: hosts with RNICs wired by a
+// direct link or a ToR switch, the VXLAN overlay fabric, the SDN
+// controller, MasQ backends, and workload nodes running under any of the
+// four virtualization systems of the paper's evaluation (Fig. 7):
+// Host-RDMA, SR-IOV passthrough, MasQ (VF or PF placement), and FreeFlow
+// containers. It also provides the Fig. 1 connection workflow (resource
+// setup, out-of-band exchange, QP state transitions) that every example
+// and benchmark builds on.
+package cluster
+
+import (
+	"fmt"
+
+	"masq/internal/baselines/freeflow"
+	"masq/internal/baselines/hostrdma"
+	"masq/internal/baselines/sriov"
+	"masq/internal/controller"
+	"masq/internal/hyper"
+	"masq/internal/masq"
+	"masq/internal/mem"
+	"masq/internal/overlay"
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simnet"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+)
+
+// Mode selects the virtualization system a node runs under.
+type Mode int
+
+// Node modes.
+const (
+	ModeHost Mode = iota
+	ModeSRIOV
+	ModeMasQ   // VF placement (default MasQ)
+	ModeMasQPF // PF placement (Fig. 9)
+	ModeFreeFlow
+)
+
+var modeNames = [...]string{"host-rdma", "sr-iov", "masq", "masq-pf", "freeflow"}
+
+func (m Mode) String() string {
+	if m >= 0 && int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config parameterizes a testbed. Zero fields take the paper's defaults.
+type Config struct {
+	Hosts     int
+	HostMem   uint64
+	VMMem     uint64
+	RNIC      rnic.Params
+	Hyper     hyper.Params
+	Overlay   overlay.Params
+	Masq      masq.Params
+	FreeFlow  freeflow.Params
+	Ctrl      controller.Params
+	PropDelay simtime.Duration
+	SwitchFwd simtime.Duration
+}
+
+// DefaultConfig mirrors the paper's Table 3 testbed: two directly
+// connected servers, 96 GB RAM, 40 Gbps CX-3-calibrated RNICs.
+func DefaultConfig() Config {
+	return Config{
+		Hosts:     2,
+		HostMem:   96 << 30,
+		VMMem:     4 << 30,
+		RNIC:      rnic.DefaultParams(),
+		Hyper:     hyper.DefaultParams(),
+		Overlay:   overlay.DefaultParams(),
+		Masq:      masq.DefaultParams(),
+		FreeFlow:  freeflow.DefaultParams(),
+		Ctrl:      controller.DefaultParams(),
+		PropDelay: simtime.Us(0.1),
+		SwitchFwd: simtime.Us(0.3),
+	}
+}
+
+// Testbed is an assembled cluster.
+type Testbed struct {
+	Eng      *simtime.Engine
+	Cfg      Config
+	Hosts    []*hyper.Host
+	Fab      *overlay.Fabric
+	Ctrl     *controller.Controller
+	Backends []*masq.Backend // per host, nil until first MasQ node
+	// Links are the underlay links (one for a direct pair; one per host
+	// toward the ToR switch otherwise). Attach taps here to capture pcaps.
+	Links []*simnet.Link
+
+	masqMode  masq.Mode
+	routers   []*freeflow.Router // per host, lazy
+	neighbors map[packet.IP]packet.MAC
+	vfSeq     byte
+	nodeSeq   int
+}
+
+// New assembles a testbed. Two hosts are directly connected; more hang off
+// a ToR switch.
+func New(cfg Config) *Testbed {
+	if cfg.Hosts == 0 {
+		cfg = DefaultConfig()
+	}
+	eng := simtime.NewEngine()
+	tb := &Testbed{
+		Eng:       eng,
+		Cfg:       cfg,
+		Ctrl:      controller.New(eng, cfg.Ctrl),
+		neighbors: make(map[packet.IP]packet.MAC),
+		masqMode:  masq.ModeVF,
+	}
+	tb.Fab = overlay.NewFabric(eng, cfg.Overlay)
+
+	resolveHost := func(ip packet.IP) (packet.MAC, bool) {
+		mac, ok := tb.neighbors[ip]
+		return mac, ok
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		ip := packet.NewIP(172, 16, byte(i>>8), byte(i+1))
+		mac := packet.MAC{0x02, 0x10, 0, 0, byte(i >> 8), byte(i)}
+		h := hyper.NewHost(eng, hyper.HostConfig{
+			Name: fmt.Sprintf("host%d", i), IP: ip, MAC: mac,
+			MemBytes: cfg.HostMem, RNIC: cfg.RNIC, Hyper: cfg.Hyper,
+			Fabric: tb.Fab, ResolveHost: resolveHost,
+		})
+		tb.neighbors[ip] = mac
+		tb.Hosts = append(tb.Hosts, h)
+	}
+	tb.Backends = make([]*masq.Backend, cfg.Hosts)
+	tb.routers = make([]*freeflow.Router, cfg.Hosts)
+
+	if cfg.Hosts == 2 {
+		tb.Links = append(tb.Links,
+			simnet.Connect(eng, tb.Hosts[0].Port, tb.Hosts[1].Port, cfg.RNIC.LineRate, cfg.PropDelay))
+	} else {
+		sw := simnet.NewSwitch(eng, "tor", cfg.SwitchFwd)
+		for _, h := range tb.Hosts {
+			sw.AttachPort(h.Port, cfg.RNIC.LineRate, cfg.PropDelay)
+		}
+	}
+	return tb
+}
+
+// SetMasqMode selects VF (default) or PF placement for MasQ nodes created
+// afterwards. It must be called before the first MasQ node on a host.
+func (tb *Testbed) SetMasqMode(m masq.Mode) { tb.masqMode = m }
+
+// AddTenant creates a VPC.
+func (tb *Testbed) AddTenant(vni uint32, name string) *overlay.Tenant {
+	return tb.Fab.AddTenant(vni, name)
+}
+
+// AllowAll installs a lowest-priority allow-everything rule on the tenant
+// (the common "open security group" starting point in the evaluation).
+func (tb *Testbed) AllowAll(vni uint32) int {
+	all, _ := packet.ParseCIDR("0.0.0.0/0")
+	return tb.Fab.Tenant(vni).Policy.AddRule(overlay.Rule{
+		Priority: 1, Proto: overlay.ProtoAny, Src: all, Dst: all, Action: overlay.Allow,
+	})
+}
+
+// Backend returns (creating on demand) the MasQ backend of a host.
+func (tb *Testbed) Backend(hostIdx int) *masq.Backend {
+	if tb.Backends[hostIdx] == nil {
+		tb.Backends[hostIdx] = masq.NewBackend(tb.Hosts[hostIdx], tb.Ctrl, tb.Fab, tb.Cfg.Masq, tb.masqMode)
+	}
+	return tb.Backends[hostIdx]
+}
+
+// Router returns (creating on demand) the FreeFlow router of a host.
+func (tb *Testbed) Router(hostIdx int) *freeflow.Router {
+	if tb.routers[hostIdx] == nil {
+		tb.routers[hostIdx] = freeflow.NewRouter(tb.Hosts[hostIdx], tb.Cfg.FreeFlow)
+	}
+	return tb.routers[hostIdx]
+}
+
+// resolveUnderlayGID maps a GID carrying an underlay IP (host or VF) to
+// its addressing — the neighbor table of Host-RDMA and SR-IOV drivers.
+func (tb *Testbed) resolveUnderlayGID(gid packet.GID) (packet.IP, packet.MAC, bool) {
+	ip, ok := gid.IP()
+	if !ok {
+		return packet.IP{}, packet.MAC{}, false
+	}
+	mac, ok := tb.neighbors[ip]
+	return ip, mac, ok
+}
+
+// Node is one workload endpoint: an application environment with a verbs
+// provider, an out-of-band channel, memory, and (virtualization-scaled)
+// compute.
+type Node struct {
+	Name string
+	Mode Mode
+	VIP  packet.IP
+	Host *hyper.Host
+
+	Provider verbs.Provider
+	Mem      *mem.AddrSpace
+	OOB      *oob
+	VM       *hyper.VM  // nil for host/container nodes
+	VF       *rnic.Func // the passthrough VF of an SR-IOV node
+
+	tb      *Testbed
+	vni     uint32
+	compute func(p *simtime.Proc, d simtime.Duration)
+
+	dev verbs.Device // cached open device
+}
+
+// NewNode creates a workload endpoint on a host under the given mode,
+// attached to tenant vni at virtual IP vip.
+func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*Node, error) {
+	tb.nodeSeq++
+	name := fmt.Sprintf("%s-%d", mode, tb.nodeSeq)
+	h := tb.Hosts[hostIdx]
+	n := &Node{Name: name, Mode: mode, VIP: vip, Host: h, tb: tb, vni: vni}
+
+	switch mode {
+	case ModeHost:
+		// Bare metal: app in host userspace on the PF. The out-of-band
+		// channel still runs over the tenant overlay for uniformity.
+		vp, err := h.VSwitch.AttachVM(vni, vip)
+		if err != nil {
+			return nil, err
+		}
+		n.Mem = h.HVA
+		n.Provider = hostrdma.New(hostrdma.Config{
+			Dev: h.Dev, Fn: h.Dev.PF(), Mem: h.HVA, Resolve: tb.resolveUnderlayGID,
+		})
+		n.compute = func(p *simtime.Proc, d simtime.Duration) { p.Sleep(d) }
+		n.OOB = newOOB(tb, vni, vp)
+	case ModeSRIOV:
+		vm, err := h.NewVM(name, tb.Cfg.VMMem, vni, vip)
+		if err != nil {
+			return nil, err
+		}
+		n.VM = vm
+		n.Mem = vm.GVA
+		tb.vfSeq++
+		vfIP := packet.NewIP(172, 18, byte(hostIdx), tb.vfSeq)
+		vfMAC := packet.MAC{0x02, 0x20, 0, 0, byte(hostIdx), tb.vfSeq}
+		pr, vf, err := sriov.NewProvider(h, vm, vfIP, vfMAC, tb.resolveUnderlayGID)
+		if err != nil {
+			vm.Shutdown()
+			return nil, err
+		}
+		tb.neighbors[vfIP] = vfMAC
+		n.Provider = pr
+		n.VF = vf
+		n.compute = vm.Compute
+		n.OOB = newOOB(tb, vni, vm.VNIC)
+	case ModeMasQ, ModeMasQPF:
+		if mode == ModeMasQPF {
+			tb.SetMasqMode(masq.ModePF)
+		}
+		vm, err := h.NewVM(name, tb.Cfg.VMMem, vni, vip)
+		if err != nil {
+			return nil, err
+		}
+		fe, err := tb.Backend(hostIdx).NewFrontend(vm, vni)
+		if err != nil {
+			vm.Shutdown()
+			return nil, err
+		}
+		n.VM = vm
+		n.Mem = vm.GVA
+		n.Provider = fe
+		n.compute = vm.Compute
+		n.OOB = newOOB(tb, vni, vm.VNIC)
+	case ModeFreeFlow:
+		c, err := h.NewContainer(name, vni, vip)
+		if err != nil {
+			return nil, err
+		}
+		n.Mem = c.GVA
+		r := tb.Router(hostIdx)
+		n.Provider = freeflow.NewProvider(r, c, func(gid packet.GID) (packet.IP, packet.MAC, bool) {
+			// FreeFlow's controller: virtual GID → host underlay address.
+			ip, ok := gid.IP()
+			if !ok {
+				return packet.IP{}, packet.MAC{}, false
+			}
+			ep := tb.Fab.Lookup(vni, ip)
+			if ep == nil {
+				return packet.IP{}, packet.MAC{}, false
+			}
+			return ep.HostIP, ep.HostMAC, true
+		})
+		n.compute = c.Compute
+		n.OOB = newOOB(tb, vni, c.VNIC)
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %v", mode)
+	}
+	return n, nil
+}
+
+// Compute burns CPU time scaled by the node's virtualization overhead.
+func (n *Node) Compute(p *simtime.Proc, d simtime.Duration) { n.compute(p, d) }
+
+// Alloc allocates an application buffer and returns its virtual address.
+func (n *Node) Alloc(size int) (uint64, error) { return n.Mem.Alloc(size) }
+
+// Write stores data at an application virtual address.
+func (n *Node) Write(va uint64, b []byte) error { return n.Mem.Write(va, b) }
+
+// Read loads data from an application virtual address.
+func (n *Node) Read(va uint64, b []byte) error { return n.Mem.Read(va, b) }
+
+// MigrateNode live-migrates a MasQ node's VM to another host, following
+// the application-assisted scheme the paper endorses in Sec. 5 (after
+// AccelNet): the application must first tear down its RDMA resources —
+// destroy QPs and deregister MRs, falling back to the TCP path — because
+// pinned, DMA-visible memory cannot move. Migration then copies the
+// guest's memory image, re-homes the vNIC on the destination vswitch, and
+// plugs in a fresh MasQ frontend whose vBond re-registers the (VNI, vGID)
+// mapping with the new host's physical identity; peers that reconnect
+// resolve the new location through the controller (stale caches are
+// refreshed by the controller's push notifications).
+func (tb *Testbed) MigrateNode(n *Node, dstHost int) error {
+	if n.Mode != ModeMasQ && n.Mode != ModeMasQPF {
+		return fmt.Errorf("cluster: live migration is implemented for MasQ nodes (got %v)", n.Mode)
+	}
+	dst := tb.Hosts[dstHost]
+	if n.Host == dst {
+		return nil
+	}
+	if old, ok := n.Provider.(*masq.Frontend); ok {
+		old.VBond().Stop()
+	}
+	if err := n.VM.MigrateTo(dst); err != nil {
+		return err
+	}
+	if err := tb.Fab.MoveEndpoint(n.VM.VNIC, dst.VSwitch); err != nil {
+		return err
+	}
+	fe, err := tb.Backend(dstHost).NewFrontend(n.VM, n.vni)
+	if err != nil {
+		return err
+	}
+	n.Host = dst
+	n.Provider = fe
+	n.Mem = n.VM.GVA // the rebuilt guest address space
+	n.compute = n.VM.Compute
+	n.dev = nil // the guest re-opens its device after resuming
+	return nil
+}
+
+// Device opens (once) and returns the node's verbs device context.
+func (n *Node) Device(p *simtime.Proc) (verbs.Device, error) {
+	if n.dev == nil {
+		dev, err := n.Provider.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		n.dev = dev
+	}
+	return n.dev, nil
+}

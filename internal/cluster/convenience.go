@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+
+	"masq/internal/packet"
+	"masq/internal/simtime"
+)
+
+// ConnectedPair is a ready-to-use RC connection between two nodes on
+// different hosts of a fresh testbed: the standard fixture of the paper's
+// microbenchmarks.
+type ConnectedPair struct {
+	TB             *Testbed
+	ClientNode     *Node
+	ServerNode     *Node
+	Client, Server *Endpoint
+}
+
+// NewConnectedPair builds a testbed with one allow-all tenant, boots a
+// client on host 0 and a server on host 1 under the given mode, and brings
+// an RC connection to RTS. The testbed's engine is drained and ready for
+// workload processes.
+func NewConnectedPair(cfg Config, mode Mode) (*ConnectedPair, error) {
+	return NewConnectedPairOpts(cfg, mode, DefaultEndpointOpts())
+}
+
+// NewConnectedPairOpts is NewConnectedPair with endpoint options.
+func NewConnectedPairOpts(cfg Config, mode Mode, opts EndpointOpts) (*ConnectedPair, error) {
+	tb := New(cfg)
+	const vni = 100
+	tb.AddTenant(vni, "tenant")
+	tb.AllowAll(vni)
+	cNode, err := tb.NewNode(mode, 0, vni, packet.NewIP(192, 168, 1, 1))
+	if err != nil {
+		return nil, err
+	}
+	sNode, err := tb.NewNode(mode, 1, vni, packet.NewIP(192, 168, 1, 2))
+	if err != nil {
+		return nil, err
+	}
+	cp := &ConnectedPair{TB: tb, ClientNode: cNode, ServerNode: sNode}
+	done := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("pair-setup", func(p *simtime.Proc) {
+		var err error
+		if cp.Client, err = cNode.Setup(p, opts); err != nil {
+			done.Trigger(err)
+			return
+		}
+		if cp.Server, err = sNode.Setup(p, opts); err != nil {
+			done.Trigger(err)
+			return
+		}
+		se, ce := Pair(tb.Eng, cp.Server, cp.Client, 7000)
+		if err := se.Wait(p); err != nil {
+			done.Trigger(err)
+			return
+		}
+		done.Trigger(ce.Wait(p))
+	})
+	tb.Eng.Run()
+	if !done.Triggered() {
+		return nil, fmt.Errorf("cluster: pair setup stalled (pending: %v)", tb.Eng.PendingProcs())
+	}
+	if err := done.Value(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// ConnectExtraQP adds another connected RC QP between the pair's two nodes
+// (Fig. 11's multi-QP scaling). port must be unique per call.
+func (cp *ConnectedPair) ConnectExtraQP(opts EndpointOpts, port uint16) (client, server *Endpoint, err error) {
+	tb := cp.TB
+	done := simtime.NewEvent[error](tb.Eng)
+	var cep, sep *Endpoint
+	tb.Eng.Spawn("extra-qp", func(p *simtime.Proc) {
+		var err error
+		if cep, err = cp.ClientNode.Setup(p, opts); err != nil {
+			done.Trigger(err)
+			return
+		}
+		if sep, err = cp.ServerNode.Setup(p, opts); err != nil {
+			done.Trigger(err)
+			return
+		}
+		se, ce := Pair(tb.Eng, sep, cep, port)
+		if err := se.Wait(p); err != nil {
+			done.Trigger(err)
+			return
+		}
+		done.Trigger(ce.Wait(p))
+	})
+	tb.Eng.Run()
+	if err := done.Value(); err != nil {
+		return nil, nil, err
+	}
+	return cep, sep, nil
+}
+
+// NewConnectedPairs builds n independent node pairs (client on host 0,
+// server on host 1) in one testbed and connects each — the Fig. 19 VM-pair
+// scaling fixture.
+func NewConnectedPairs(cfg Config, mode Mode, n int) (*Testbed, []*ConnectedPair, error) {
+	tb := New(cfg)
+	const vni = 100
+	tb.AddTenant(vni, "tenant")
+	tb.AllowAll(vni)
+	pairs := make([]*ConnectedPair, n)
+	for i := 0; i < n; i++ {
+		subnet, host := byte(1+i/100), byte((i%100)*2)
+		cNode, err := tb.NewNode(mode, 0, vni, packet.NewIP(192, 168, subnet, host+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		sNode, err := tb.NewNode(mode, 1, vni, packet.NewIP(192, 168, subnet, host+2))
+		if err != nil {
+			return nil, nil, err
+		}
+		pairs[i] = &ConnectedPair{TB: tb, ClientNode: cNode, ServerNode: sNode}
+	}
+	done := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("pairs-setup", func(p *simtime.Proc) {
+		for i, cp := range pairs {
+			var err error
+			if cp.Client, err = cp.ClientNode.Setup(p, DefaultEndpointOpts()); err != nil {
+				done.Trigger(err)
+				return
+			}
+			if cp.Server, err = cp.ServerNode.Setup(p, DefaultEndpointOpts()); err != nil {
+				done.Trigger(err)
+				return
+			}
+			se, ce := Pair(tb.Eng, cp.Server, cp.Client, uint16(7000+i))
+			if err := se.Wait(p); err != nil {
+				done.Trigger(err)
+				return
+			}
+			if err := ce.Wait(p); err != nil {
+				done.Trigger(err)
+				return
+			}
+		}
+		done.Trigger(nil)
+	})
+	tb.Eng.Run()
+	if !done.Triggered() {
+		return nil, nil, fmt.Errorf("cluster: pairs setup stalled")
+	}
+	if err := done.Value(); err != nil {
+		return nil, nil, err
+	}
+	return tb, pairs, nil
+}

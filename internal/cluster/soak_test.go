@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simnet"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+)
+
+// TestCloudSoak is the everything-at-once scenario: a three-host cluster
+// behind a ToR switch running four tenants with a mix of virtualization
+// systems, concurrent traffic, a QoS change, a security revocation and a
+// live migration — all interleaving in one simulation. It asserts the
+// big invariants: payload integrity per tenant, isolation across tenants,
+// enforcement only where rules changed, and liveness for everyone else.
+func TestCloudSoak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 3
+	tb := New(cfg)
+
+	type tenantEnv struct {
+		vni   uint32
+		rule  int
+		pairs []*pairConn
+	}
+	mkTenant := func(vni uint32, name string) *tenantEnv {
+		tb.AddTenant(vni, name)
+		return &tenantEnv{vni: vni, rule: tb.AllowAll(vni)}
+	}
+	acme := mkTenant(100, "acme")       // MasQ, will be rate limited
+	globex := mkTenant(200, "globex")   // MasQ, will lose its rule
+	initech := mkTenant(300, "initech") // SR-IOV tenant
+	hooli := mkTenant(400, "hooli")     // FreeFlow tenant
+
+	port := uint16(7000)
+	pairUp := func(te *tenantEnv, mode Mode, hostC, hostS int, ipC, ipS packet.IP) *pairConn {
+		t.Helper()
+		c, err := tb.NewNode(mode, hostC, te.vni, ipC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := tb.NewNode(mode, hostS, te.vni, ipS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := &pairConn{cNode: c, sNode: s}
+		done := simtime.NewEvent[error](tb.Eng)
+		tb.Eng.Spawn("wire", func(p *simtime.Proc) {
+			var err error
+			if pc.c, err = c.Setup(p, DefaultEndpointOpts()); err != nil {
+				done.Trigger(err)
+				return
+			}
+			if pc.s, err = s.Setup(p, DefaultEndpointOpts()); err != nil {
+				done.Trigger(err)
+				return
+			}
+			se, ce := Pair(tb.Eng, pc.s, pc.c, port)
+			if err := se.Wait(p); err != nil {
+				done.Trigger(err)
+				return
+			}
+			done.Trigger(ce.Wait(p))
+		})
+		tb.Eng.Run()
+		port++
+		if err := done.Value(); err != nil {
+			t.Fatalf("tenant %d %v pair: %v", te.vni, mode, err)
+		}
+		te.pairs = append(te.pairs, pc)
+		return pc
+	}
+
+	// Topology: acme and globex MasQ pairs across hosts 0→1; initech
+	// SR-IOV across 0→2; hooli FreeFlow across 1→2.
+	a1 := pairUp(acme, ModeMasQ, 0, 1, packet.NewIP(10, 1, 0, 1), packet.NewIP(10, 1, 0, 2))
+	g1 := pairUp(globex, ModeMasQ, 0, 1, packet.NewIP(10, 1, 0, 1), packet.NewIP(10, 1, 0, 2)) // same IPs as acme!
+	i1 := pairUp(initech, ModeSRIOV, 0, 2, packet.NewIP(10, 3, 0, 1), packet.NewIP(10, 3, 0, 2))
+	h1 := pairUp(hooli, ModeFreeFlow, 1, 2, packet.NewIP(10, 4, 0, 1), packet.NewIP(10, 4, 0, 2))
+
+	// Streams: every pair pushes numbered messages; receivers verify
+	// sequence and tenant tag. (Deterministic spawn order: the engine is
+	// deterministic, so the whole soak replays identically.)
+	names := []string{"acme", "globex", "initech", "hooli"}
+	pairs := []*pairConn{a1, g1, i1, h1}
+	results := map[string]*streamResult{}
+	for i, name := range names {
+		results[name] = startStream(t, tb, name, pairs[i], 400)
+	}
+
+	// Control-plane churn while traffic flows.
+	tb.Eng.Spawn("ops", func(p *simtime.Proc) {
+		p.Sleep(simtime.Us(100))
+		// QoS: clamp acme to 5 Gbps (exercised, not throughput-asserted —
+		// the streams are message-rate bound).
+		if err := tb.Backend(0).SetTenantRateLimit(acme.vni, 5e9); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(simtime.Us(100))
+		// Security: revoke globex entirely, mid-stream.
+		tb.Fab.Tenant(globex.vni).Policy.RemoveRule(globex.rule)
+	})
+	tb.Eng.Run()
+
+	// globex must have died mid-stream; everyone else completes.
+	for name, r := range results {
+		switch name {
+		case "globex":
+			if r.completed == 400 {
+				t.Errorf("globex finished all messages despite revocation")
+			}
+			if !r.sawError {
+				t.Error("globex never observed an error completion")
+			}
+		default:
+			if r.completed != 400 {
+				t.Errorf("%s completed %d/400 (err=%v)", name, r.completed, r.err)
+			}
+		}
+		if r.corrupt {
+			t.Errorf("%s observed corrupted or foreign payloads", name)
+		}
+	}
+
+	// Finally, migrate acme's server from host1 to host2 and reconnect.
+	teardown := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("teardown", func(p *simtime.Proc) {
+		if err := a1.s.QP.Destroy(p); err != nil {
+			teardown.Trigger(err)
+			return
+		}
+		if err := a1.s.MR.Dereg(p); err != nil {
+			teardown.Trigger(err)
+			return
+		}
+		teardown.Trigger(a1.c.QP.Destroy(p))
+	})
+	tb.Eng.Run()
+	if err := teardown.Value(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MigrateNode(a1.sNode, 2); err != nil {
+		t.Fatal(err)
+	}
+	reconnect := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("reconnect", func(p *simtime.Proc) {
+		sep, err := a1.sNode.Setup(p, DefaultEndpointOpts())
+		if err != nil {
+			reconnect.Trigger(err)
+			return
+		}
+		cep, err := a1.cNode.Setup(p, DefaultEndpointOpts())
+		if err != nil {
+			reconnect.Trigger(err)
+			return
+		}
+		if err := cep.ConnectRC(p, sep.Info()); err != nil {
+			reconnect.Trigger(err)
+			return
+		}
+		if err := sep.ConnectRC(p, cep.Info()); err != nil {
+			reconnect.Trigger(err)
+			return
+		}
+		sep.QP.PostRecv(p, verbs.RecvWR{WRID: 1, Addr: sep.Buf, LKey: sep.MR.LKey(), Len: 64})
+		a1.cNode.Write(cep.Buf, []byte("post-soak"))
+		cep.QP.PostSend(p, verbs.SendWR{WRID: 2, Op: verbs.WRSend, LocalAddr: cep.Buf, LKey: cep.MR.LKey(), Len: 9})
+		if wc := sep.RCQ.Wait(p); wc.Status != verbs.WCSuccess {
+			reconnect.Trigger(fmt.Errorf("post-migration transfer: %v", wc.Status))
+			return
+		}
+		reconnect.Trigger(nil)
+	})
+	tb.Eng.Run()
+	if err := reconnect.Value(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type pairConn struct {
+	cNode, sNode *Node
+	c, s         *Endpoint
+}
+
+type streamResult struct {
+	completed int
+	sawError  bool
+	corrupt   bool
+	err       error
+}
+
+// startStream pushes msgs numbered SENDs from client to server, verifying
+// tag and order at the receiver.
+func startStream(t *testing.T, tb *Testbed, tag string, pc *pairConn, msgs int) *streamResult {
+	r := &streamResult{}
+	tb.Eng.Spawn(tag+"-rx", func(p *simtime.Proc) {
+		for i := 0; i < msgs; i++ {
+			if err := pc.s.QP.PostRecv(p, verbs.RecvWR{
+				WRID: uint64(i), Addr: pc.s.Buf, LKey: pc.s.MR.LKey(), Len: 256,
+			}); err != nil {
+				return
+			}
+			wc, ok := pc.s.RCQ.WaitTimeout(p, simtime.Ms(200))
+			if !ok || wc.Status != verbs.WCSuccess {
+				return
+			}
+			buf := make([]byte, wc.ByteLen)
+			pc.sNode.Read(pc.s.Buf, buf)
+			want := fmt.Sprintf("%s-%04d", tag, i)
+			if string(buf) != want {
+				r.corrupt = true
+				return
+			}
+		}
+	})
+	tb.Eng.Spawn(tag+"-tx", func(p *simtime.Proc) {
+		for i := 0; i < msgs; i++ {
+			msg := []byte(fmt.Sprintf("%s-%04d", tag, i))
+			pc.cNode.Write(pc.c.Buf, msg)
+			if err := pc.c.QP.PostSend(p, verbs.SendWR{
+				WRID: uint64(i), Op: verbs.WRSend, LocalAddr: pc.c.Buf, LKey: pc.c.MR.LKey(), Len: len(msg),
+			}); err != nil {
+				r.err = err
+				return
+			}
+			wc, ok := pc.c.SCQ.WaitTimeout(p, simtime.Ms(200))
+			if !ok {
+				r.err = fmt.Errorf("%s send %d timed out", tag, i)
+				return
+			}
+			if wc.Status != verbs.WCSuccess {
+				r.sawError = true
+				return
+			}
+			r.completed++
+		}
+	})
+	return r
+}
+
+// TestLinkFailureErrorsOutBothSides: the underlay link dies mid-transfer;
+// the sender must surface RETRY_EXC_ERR after exhausting go-back-N
+// retries rather than hanging.
+func TestLinkFailureErrorsOutBothSides(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RNIC.RetransTimeout = simtime.Us(300)
+	cfg.RNIC.MaxRetry = 3
+	tb := New(cfg)
+	tb.AddTenant(vni, "t")
+	tb.AllowAll(vni)
+	c, _ := tb.NewNode(ModeMasQ, 0, vni, packet.NewIP(10, 0, 0, 1))
+	s, _ := tb.NewNode(ModeMasQ, 1, vni, packet.NewIP(10, 0, 0, 2))
+	var cep, sep *Endpoint
+	done := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("wire", func(p *simtime.Proc) {
+		var err error
+		if cep, err = c.Setup(p, DefaultEndpointOpts()); err != nil {
+			done.Trigger(err)
+			return
+		}
+		if sep, err = s.Setup(p, DefaultEndpointOpts()); err != nil {
+			done.Trigger(err)
+			return
+		}
+		se, ce := Pair(tb.Eng, sep, cep, 7000)
+		if err := se.Wait(p); err != nil {
+			done.Trigger(err)
+			return
+		}
+		done.Trigger(ce.Wait(p))
+	})
+	tb.Eng.Run()
+	if err := done.Value(); err != nil {
+		t.Fatal(err)
+	}
+
+	dead := false
+	tb.Links[0].Drop = func(simnet.Frame) bool { return dead }
+	var status verbs.WCStatus
+	fin := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("tx", func(p *simtime.Proc) {
+		peer := sep.Info()
+		for i := 0; ; i++ {
+			if err := cep.QP.PostSend(p, verbs.SendWR{
+				WRID: uint64(i), Op: verbs.WRWrite, LocalAddr: cep.Buf, LKey: cep.MR.LKey(),
+				Len: 16384, RemoteAddr: peer.Addr, RKey: peer.RKey,
+			}); err != nil {
+				fin.Trigger(nil) // post refused after the QP errored
+				return
+			}
+			wc, ok := cep.SCQ.WaitTimeout(p, simtime.Ms(100))
+			if !ok {
+				fin.Trigger(errors.New("sender hung after link death"))
+				return
+			}
+			if wc.Status != verbs.WCSuccess {
+				status = wc.Status
+				fin.Trigger(nil)
+				return
+			}
+		}
+	})
+	tb.Eng.Spawn("cut", func(p *simtime.Proc) {
+		p.Sleep(simtime.Us(500))
+		dead = true // backhoe
+	})
+	tb.Eng.Run()
+	if err := fin.Value(); err != nil {
+		t.Fatal(err)
+	}
+	if status != rnic.WCRetryExceeded {
+		t.Fatalf("sender CQE status = %v, want RETRY_EXC_ERR", status)
+	}
+	if cep.QP.State() != verbs.StateError {
+		t.Fatalf("sender QP state = %v, want ERROR", cep.QP.State())
+	}
+}
+
+// TestIncastFairSharing: two senders on different hosts converge on one
+// receiver through the ToR switch. The lossless fabric must deliver
+// everything (zero transport retransmits) and split the egress link
+// roughly evenly.
+func TestIncastFairSharing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 3
+	tb := New(cfg)
+	tb.AddTenant(vni, "t")
+	tb.AllowAll(vni)
+	rx, _ := tb.NewNode(ModeMasQ, 2, vni, packet.NewIP(10, 0, 0, 9))
+	tx1, _ := tb.NewNode(ModeMasQ, 0, vni, packet.NewIP(10, 0, 0, 1))
+	tx2, _ := tb.NewNode(ModeMasQ, 1, vni, packet.NewIP(10, 0, 0, 2))
+
+	wire := func(c *Node, port uint16) (*Endpoint, *Endpoint) {
+		var cep, sep *Endpoint
+		done := simtime.NewEvent[error](tb.Eng)
+		tb.Eng.Spawn("wire", func(p *simtime.Proc) {
+			var err error
+			if cep, err = c.Setup(p, DefaultEndpointOpts()); err != nil {
+				done.Trigger(err)
+				return
+			}
+			if sep, err = rx.Setup(p, DefaultEndpointOpts()); err != nil {
+				done.Trigger(err)
+				return
+			}
+			se, ce := Pair(tb.Eng, sep, cep, port)
+			if err := se.Wait(p); err != nil {
+				done.Trigger(err)
+				return
+			}
+			done.Trigger(ce.Wait(p))
+		})
+		tb.Eng.Run()
+		if err := done.Value(); err != nil {
+			t.Fatal(err)
+		}
+		return cep, sep
+	}
+	c1, s1 := wire(tx1, 7000)
+	c2, s2 := wire(tx2, 7001)
+
+	stream := func(cep, sep *Endpoint) *simtime.Event[int64] {
+		done := simtime.NewEvent[int64](tb.Eng)
+		peer := sep.Info()
+		tb.Eng.Spawn("flow", func(p *simtime.Proc) {
+			const size = 64 * 1024
+			var bytes int64
+			deadline := p.Now().Add(simtime.Ms(8))
+			posted, completed := 0, 0
+			for posted < 8 {
+				cep.QP.PostSend(p, verbs.SendWR{
+					WRID: uint64(posted), Op: verbs.WRWrite, LocalAddr: cep.Buf,
+					LKey: cep.MR.LKey(), Len: size, RemoteAddr: peer.Addr, RKey: peer.RKey,
+				})
+				posted++
+			}
+			for {
+				wc, ok := cep.SCQ.WaitTimeout(p, simtime.Ms(50))
+				if !ok || wc.Status != verbs.WCSuccess {
+					done.Trigger(bytes)
+					return
+				}
+				completed++
+				bytes += size
+				if p.Now() >= deadline {
+					done.Trigger(bytes)
+					return
+				}
+				cep.QP.PostSend(p, verbs.SendWR{
+					WRID: uint64(posted), Op: verbs.WRWrite, LocalAddr: cep.Buf,
+					LKey: cep.MR.LKey(), Len: size, RemoteAddr: peer.Addr, RKey: peer.RKey,
+				})
+				posted++
+			}
+		})
+		return done
+	}
+	d1 := stream(c1, s1)
+	d2 := stream(c2, s2)
+	tb.Eng.Run()
+	window := simtime.Ms(8).Seconds() // the measurement window each flow ran
+	g1 := float64(d1.Value()*8) / window / 1e9
+	g2 := float64(d2.Value()*8) / window / 1e9
+	if total := g1 + g2; total < 33 || total > 41 {
+		t.Fatalf("incast aggregate = %.1f Gbps, want ≈ line rate", total)
+	}
+	if ratio := g1 / g2; ratio < 0.7 || ratio > 1.45 {
+		t.Fatalf("unfair incast split: %.1f vs %.1f Gbps", g1, g2)
+	}
+	for i := 0; i < 3; i++ {
+		if r := tb.Hosts[i].Dev.Stats.Retransmits; r != 0 {
+			t.Fatalf("host%d retransmitted %d times on a lossless fabric", i, r)
+		}
+	}
+	_ = s2
+}

@@ -1,0 +1,112 @@
+// Package controller implements the logically centralized SDN controller
+// of Sec. 3.3.1: it maintains the mapping table from (tenant VNI, virtual
+// GID) to the physical GID (and underlay addressing) of the host currently
+// running that endpoint. vBond registers and updates entries as virtual
+// IPs change; RConnrename queries it — normally through its local cache —
+// while establishing connections, and can ask for a push-down of a whole
+// tenant's mappings to avoid even the first-query miss.
+package controller
+
+import (
+	"masq/internal/packet"
+	"masq/internal/simtime"
+)
+
+// Params model controller access costs.
+type Params struct {
+	QueryRTT   simtime.Duration // remote query round trip (paper: ~100 µs)
+	UpdateCost simtime.Duration // applying a registration
+}
+
+// DefaultParams returns the paper's stated costs.
+func DefaultParams() Params {
+	return Params{QueryRTT: simtime.Us(100), UpdateCost: simtime.Us(5)}
+}
+
+// Mapping is the physical view of a virtual endpoint: the record
+// RConnrename swaps into the QPC. A record is ~35 bytes on the wire
+// (vGID 16 B + VNI 3 B + pGID 16 B), which is how the paper sizes the
+// local cache.
+type Mapping struct {
+	PGID packet.GID
+	PIP  packet.IP
+	PMAC packet.MAC
+}
+
+// Key identifies a virtual endpoint. Different tenants may use identical
+// virtual IPs, hence the VNI (Sec. 3.3.1).
+type Key struct {
+	VNI  uint32
+	VGID packet.GID
+}
+
+// Stats counts controller traffic.
+type Stats struct {
+	Queries, Hits, Updates, Removals uint64
+}
+
+// Controller is the mapping service.
+type Controller struct {
+	P     Params
+	Stats Stats
+
+	eng   *simtime.Engine
+	table map[Key]Mapping
+	subs  []func(Key, Mapping, bool) // (key, mapping, removed)
+}
+
+// New returns an empty controller.
+func New(eng *simtime.Engine, p Params) *Controller {
+	return &Controller{P: p, eng: eng, table: make(map[Key]Mapping)}
+}
+
+// Register inserts or updates a mapping (vBond's notification on vGID
+// creation or change) and notifies subscribers.
+func (c *Controller) Register(k Key, m Mapping) {
+	c.Stats.Updates++
+	c.table[k] = m
+	for _, fn := range c.subs {
+		fn(k, m, false)
+	}
+}
+
+// Unregister removes a mapping (VM shutdown / IP released).
+func (c *Controller) Unregister(k Key) {
+	c.Stats.Removals++
+	delete(c.table, k)
+	for _, fn := range c.subs {
+		fn(k, Mapping{}, true)
+	}
+}
+
+// Subscribe registers a push-notification callback: local caches use it to
+// invalidate or pre-populate ("the controller can be configured to push
+// down the mappings in advance").
+func (c *Controller) Subscribe(fn func(k Key, m Mapping, removed bool)) {
+	c.subs = append(c.subs, fn)
+}
+
+// Query performs a remote lookup, paying the query round trip.
+func (c *Controller) Query(p *simtime.Proc, k Key) (Mapping, bool) {
+	c.Stats.Queries++
+	p.Sleep(c.P.QueryRTT)
+	m, ok := c.table[k]
+	if ok {
+		c.Stats.Hits++
+	}
+	return m, ok
+}
+
+// Dump returns every mapping of a tenant (push-down support).
+func (c *Controller) Dump(vni uint32) map[Key]Mapping {
+	out := make(map[Key]Mapping)
+	for k, m := range c.table {
+		if k.VNI == vni {
+			out[k] = m
+		}
+	}
+	return out
+}
+
+// Size returns the table size (scalability accounting).
+func (c *Controller) Size() int { return len(c.table) }

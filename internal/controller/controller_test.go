@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"testing"
+
+	"masq/internal/packet"
+	"masq/internal/simtime"
+)
+
+func mapping(ip packet.IP) Mapping {
+	return Mapping{PGID: packet.GIDFromIP(ip), PIP: ip, PMAC: packet.MAC{2, 0, 0, 0, 0, ip[3]}}
+}
+
+func TestRegisterAndQuery(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	k := Key{VNI: 100, VGID: packet.GIDFromIP(packet.NewIP(192, 168, 1, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	var m Mapping
+	var ok bool
+	var elapsed simtime.Duration
+	eng.Spawn("q", func(p *simtime.Proc) {
+		start := p.Now()
+		m, ok = c.Query(p, k)
+		elapsed = p.Now().Sub(start)
+	})
+	eng.Run()
+	if !ok || m.PIP != packet.NewIP(172, 16, 0, 1) {
+		t.Fatalf("query = %+v, %v", m, ok)
+	}
+	if elapsed != simtime.Us(100) {
+		t.Fatalf("query RTT = %v, want 100µs", elapsed)
+	}
+}
+
+func TestQueryMiss(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	var ok bool
+	eng.Spawn("q", func(p *simtime.Proc) {
+		_, ok = c.Query(p, Key{VNI: 1})
+	})
+	eng.Run()
+	if ok {
+		t.Fatal("miss reported as hit")
+	}
+	if c.Stats.Queries != 1 || c.Stats.Hits != 0 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestOverlappingVIPsDistinctByVNI(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	vgid := packet.GIDFromIP(packet.NewIP(10, 0, 0, 1))
+	c.Register(Key{VNI: 100, VGID: vgid}, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.Register(Key{VNI: 200, VGID: vgid}, mapping(packet.NewIP(172, 16, 0, 2)))
+	var m1, m2 Mapping
+	eng.Spawn("q", func(p *simtime.Proc) {
+		m1, _ = c.Query(p, Key{VNI: 100, VGID: vgid})
+		m2, _ = c.Query(p, Key{VNI: 200, VGID: vgid})
+	})
+	eng.Run()
+	if m1.PIP == m2.PIP {
+		t.Fatal("tenants with identical vGIDs must resolve independently")
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size = %d", c.Size())
+	}
+}
+
+func TestUnregisterRemoves(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	k := Key{VNI: 100, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.Unregister(k)
+	var ok bool
+	eng.Spawn("q", func(p *simtime.Proc) { _, ok = c.Query(p, k) })
+	eng.Run()
+	if ok {
+		t.Fatal("unregistered mapping still resolves")
+	}
+}
+
+func TestSubscribersSeeUpdatesAndRemovals(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	var adds, removes int
+	c.Subscribe(func(k Key, m Mapping, removed bool) {
+		if removed {
+			removes++
+		} else {
+			adds++
+		}
+	})
+	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(1, 1, 1, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 2))) // update
+	c.Unregister(k)
+	if adds != 2 || removes != 1 {
+		t.Fatalf("adds=%d removes=%d", adds, removes)
+	}
+}
+
+func TestDumpFiltersByVNI(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	for i := byte(1); i <= 5; i++ {
+		c.Register(Key{VNI: 100, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, i))}, mapping(packet.NewIP(172, 16, 0, i)))
+	}
+	c.Register(Key{VNI: 200, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, 1))}, mapping(packet.NewIP(172, 16, 0, 9)))
+	d := c.Dump(100)
+	if len(d) != 5 {
+		t.Fatalf("dump(100) = %d entries, want 5", len(d))
+	}
+}

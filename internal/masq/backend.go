@@ -1,0 +1,344 @@
+package masq
+
+import (
+	"fmt"
+
+	"masq/internal/controller"
+	"masq/internal/hyper"
+	"masq/internal/mem"
+	"masq/internal/overlay"
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+	"masq/internal/virtio"
+)
+
+// Backend is MasQ's host-side driver: one per host. It executes forwarded
+// control-path commands on the RNIC, applies RConnrename and RConntrack,
+// and implements the QoS grouping policy that maps tenants onto VFs.
+type Backend struct {
+	P    Params
+	Mode Mode
+
+	Host *hyper.Host
+	Ctrl *controller.Controller
+	Fab  *overlay.Fabric
+	CT   *RConntrack
+
+	VIO virtio.Params
+
+	cache   map[controller.Key]controller.Mapping
+	tenants map[uint32]*rnic.Func // QoS grouping: tenant → VF
+	qpOwner map[uint32]*session   // QPN → owning frontend (wire diagnosis)
+	Stats   struct {
+		CacheHits, CacheMisses uint64
+		Renames                uint64
+	}
+}
+
+// NewBackend creates the host driver and hooks it to the controller.
+func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabric, p Params, mode Mode) *Backend {
+	b := &Backend{
+		P:       p,
+		Mode:    mode,
+		Host:    host,
+		Ctrl:    ctrl,
+		Fab:     fab,
+		CT:      NewRConntrack(p, host.Dev),
+		VIO:     virtio.DefaultParams(),
+		cache:   make(map[controller.Key]controller.Mapping),
+		tenants: make(map[uint32]*rnic.Func),
+		qpOwner: make(map[uint32]*session),
+	}
+	ctrl.Subscribe(func(k controller.Key, m controller.Mapping, removed bool) {
+		if removed {
+			delete(b.cache, k)
+			return
+		}
+		if b.P.PushDown {
+			b.cache[k] = m // controller pushes mappings down in advance
+		} else if _, ok := b.cache[k]; ok {
+			b.cache[k] = m // keep cached entries fresh
+		}
+	})
+	return b
+}
+
+// physIdentity is the mapping vBond registers for endpoints on this host:
+// the RNIC's physical addressing (footnote 2 of the paper: source
+// addresses are always the physical ones).
+func (b *Backend) physIdentity() controller.Mapping {
+	return controller.Mapping{
+		PGID: packet.GIDFromIP(b.Host.IP),
+		PIP:  b.Host.IP,
+		PMAC: b.Host.MAC,
+	}
+}
+
+// fnFor applies the QP-grouping policy: in VF mode each tenant gets a
+// dedicated VF (and thereby a hardware rate limiter); PF mode is
+// best-effort on the physical function.
+func (b *Backend) fnFor(vni uint32) (*rnic.Func, error) {
+	if b.Mode == ModePF {
+		return b.Host.Dev.PF(), nil
+	}
+	if fn, ok := b.tenants[vni]; ok {
+		return fn, nil
+	}
+	fn, err := b.Host.Dev.AddVF()
+	if err != nil {
+		return nil, fmt.Errorf("masq: no VF for tenant %d: %w", vni, err)
+	}
+	// MasQ VFs are not passed through: they keep the host's network
+	// identity and need no IOMMU (the backend programs HPAs directly).
+	fn.SetAddr(b.Host.IP, b.Host.MAC)
+	fn.IOMMU = false
+	b.tenants[vni] = fn
+	return fn, nil
+}
+
+// SetTenantRateLimit installs a QoS policy on the tenant's QP group.
+func (b *Backend) SetTenantRateLimit(vni uint32, bps float64) error {
+	fn, err := b.fnFor(vni)
+	if err != nil {
+		return err
+	}
+	fn.SetRateLimit(bps)
+	return nil
+}
+
+// WireInfo is the Sec. 5 diagnosis feature: underlay packets carry only
+// physical addresses, but operators sometimes need the overlay identity
+// behind a flow. Given the destination QPN observed in a packet addressed
+// to this host, WireInfo returns the tenant and virtual IP it belongs to
+// ("maintaining a mapping table between the (physical IP, QPN) and the
+// virtual IP" — no extra headers needed, so no MTU tax).
+func (b *Backend) WireInfo(qpn uint32) (vni uint32, vip packet.IP, ok bool) {
+	sess, ok := b.qpOwner[qpn]
+	if !ok {
+		return 0, packet.IP{}, false
+	}
+	return sess.vni, sess.vbond.VIP(), true
+}
+
+// resolveGID is RConnrename's mapping lookup: local cache first, then the
+// controller.
+func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (controller.Mapping, error) {
+	k := controller.Key{VNI: vni, VGID: vgid}
+	p.Sleep(b.P.CacheLookupCost)
+	if m, ok := b.cache[k]; ok {
+		b.Stats.CacheHits++
+		return m, nil
+	}
+	b.Stats.CacheMisses++
+	m, ok := b.Ctrl.Query(p, k)
+	if !ok {
+		return controller.Mapping{}, fmt.Errorf("masq: no mapping for vGID %v in VNI %d", vgid, vni)
+	}
+	b.cache[k] = m
+	return m, nil
+}
+
+// Command types crossing the virtio ring (frontend → backend).
+type (
+	cmdGetDevList struct{}
+	cmdOpenDev    struct{}
+	cmdCloseDev   struct{}
+	cmdAllocPD    struct{}
+	cmdDeallocPD  struct{ pd *rnic.PD }
+	cmdRegMR      struct {
+		sess   *session
+		pd     *rnic.PD
+		va     uint64
+		length int
+		gpaExt []mem.Extent
+		access rnic.Access
+	}
+	cmdDeregMR struct {
+		sess   *session
+		mr     *rnic.MR
+		gpaExt []mem.Extent
+	}
+	cmdCreateCQ struct {
+		sess *session
+		cqe  int
+	}
+	cmdDestroyCQ struct{ cq *rnic.CQ }
+	cmdCreateSRQ struct {
+		sess  *session
+		maxWR int
+	}
+	cmdDestroySRQ struct{ srq *rnic.SRQ }
+	cmdCreateQP   struct {
+		sess     *session
+		pd       *rnic.PD
+		scq, rcq *rnic.CQ
+		typ      rnic.QPType
+		caps     rnic.QPCaps
+	}
+	cmdDestroyQP struct {
+		sess *session
+		qp   *rnic.QP
+	}
+	cmdModifyQP struct {
+		sess *session
+		qp   *rnic.QP
+		attr verbs.Attr
+	}
+	cmdPostUD struct {
+		sess *session
+		qp   *rnic.QP
+		wr   rnic.SendWR
+		dgid packet.GID
+		dqpn uint32
+	}
+)
+
+type resp struct {
+	v   any
+	err error
+}
+
+// session is the backend's per-frontend state.
+type session struct {
+	vm    *hyper.VM
+	vni   uint32
+	vbond *VBond
+	fn    *rnic.Func
+}
+
+// NewFrontend plugs a MasQ virtual RoCE device into a VM: it creates the
+// virtio ring, the vBond over the VM's vNIC, starts the backend service
+// loop, and subscribes RConntrack to the tenant's policy.
+func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
+	if vm.VNIC == nil {
+		return nil, fmt.Errorf("masq: VM %s has no virtual Ethernet interface to bond", vm.Name)
+	}
+	fn, err := b.fnFor(vni)
+	if err != nil {
+		return nil, err
+	}
+	tenant := b.Fab.Tenant(vni)
+	if tenant == nil {
+		return nil, fmt.Errorf("masq: unknown tenant VNI %d", vni)
+	}
+	b.CT.Watch(tenant)
+
+	vbond := NewVBond(vni, vm.VNIC, b.Ctrl, b.physIdentity())
+	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn}
+	ring := virtio.NewRing(b.Host.Eng, b.VIO)
+	ring.Serve("masq-backend:"+vm.Name, func(p *simtime.Proc, cmd any) any {
+		return b.handle(p, cmd)
+	})
+	return &Frontend{b: b, sess: sess, ring: ring}, nil
+}
+
+// handle executes one forwarded command on the host.
+func (b *Backend) handle(p *simtime.Proc, cmd any) any {
+	dev := b.Host.Dev
+	switch c := cmd.(type) {
+	case cmdGetDevList:
+		dev.GetDeviceList(p)
+		return resp{}
+	case cmdOpenDev:
+		dev.Open(p)
+		return resp{}
+	case cmdCloseDev:
+		dev.Close(p)
+		return resp{}
+	case cmdAllocPD:
+		return resp{v: dev.AllocPD(p, nil)}
+	case cmdDeallocPD:
+		dev.DeallocPD(p, c.pd)
+		return resp{}
+	case cmdRegMR:
+		// Finish the pinning walk: the frontend pinned GVA→GPA; the
+		// backend pins GPA→HVA→HPA and programs the MTT (Appendix B).
+		var hpa []mem.Extent
+		for _, e := range c.gpaExt {
+			sub, err := c.sess.vm.GPA.PinToPhys(e.Addr, e.Len)
+			if err != nil {
+				return resp{err: err}
+			}
+			hpa = append(hpa, sub...)
+		}
+		return resp{v: dev.RegMR(p, c.sess.fn, c.pd, c.va, c.length, hpa, c.access)}
+	case cmdDeregMR:
+		dev.DeregMR(p, nil, c.mr)
+		for _, e := range c.gpaExt {
+			if err := c.sess.vm.GPA.UnpinToPhys(e.Addr, e.Len); err != nil {
+				return resp{err: err}
+			}
+		}
+		return resp{}
+	case cmdCreateCQ:
+		return resp{v: dev.CreateCQ(p, c.sess.fn, c.cqe)}
+	case cmdDestroyCQ:
+		dev.DestroyCQ(p, nil, c.cq)
+		return resp{}
+	case cmdCreateSRQ:
+		return resp{v: dev.CreateSRQ(p, c.sess.fn, c.maxWR)}
+	case cmdDestroySRQ:
+		dev.DestroySRQ(p, nil, c.srq)
+		return resp{}
+	case cmdCreateQP:
+		qp := dev.CreateQP(p, c.sess.fn, c.pd, c.scq, c.rcq, c.typ, c.caps)
+		b.qpOwner[qp.Num] = c.sess
+		return resp{v: qp}
+	case cmdDestroyQP:
+		b.CT.Delete(p, c.qp.Num)
+		delete(b.qpOwner, c.qp.Num)
+		dev.DestroyQP(p, c.qp)
+		return resp{}
+	case cmdModifyQP:
+		return resp{err: b.modifyQP(p, c)}
+	case cmdPostUD:
+		return resp{err: b.postUD(p, c)}
+	}
+	return resp{err: fmt.Errorf("masq: unknown backend command %T", cmd)}
+}
+
+// modifyQP is where RConnrename and RConntrack intercept the control path.
+func (b *Backend) modifyQP(p *simtime.Proc, c cmdModifyQP) error {
+	a := c.attr
+	attr := rnic.Attr{ToState: a.ToState, QKey: a.QKey}
+	if a.ToState == rnic.StateRTR && a.DQPN != 0 && !a.DGID.IsZero() {
+		dstIP, _ := a.DGID.IP()
+		id := ConnID{VNI: c.sess.vni, SrcVIP: c.sess.vbond.VIP(), DstVIP: dstIP, QPN: c.qp.Num}
+		if err := b.CT.Validate(p, id); err != nil {
+			return err
+		}
+		m, err := b.resolveGID(p, c.sess.vni, a.DGID)
+		if err != nil {
+			return err
+		}
+		// The rename: the application's QPC view keeps the virtual GID;
+		// the hardware sees only physical addresses.
+		b.Stats.Renames++
+		attr.AV = rnic.AddressVector{DGID: m.PGID, DIP: m.PIP, DMAC: m.PMAC, DQPN: a.DQPN}
+		if err := b.Host.Dev.ModifyQP(p, c.qp, attr); err != nil {
+			return err
+		}
+		b.CT.Insert(p, id, c.qp)
+		return nil
+	}
+	return b.Host.Dev.ModifyQP(p, c.qp, attr)
+}
+
+// postUD renames and posts a datagram WQE that the frontend routed through
+// the control path (Sec. 3.3.4).
+func (b *Backend) postUD(p *simtime.Proc, c cmdPostUD) error {
+	dstIP, _ := c.dgid.IP()
+	id := ConnID{VNI: c.sess.vni, SrcVIP: c.sess.vbond.VIP(), DstVIP: dstIP, QPN: c.qp.Num}
+	if err := b.CT.Validate(p, id); err != nil {
+		return err
+	}
+	m, err := b.resolveGID(p, c.sess.vni, c.dgid)
+	if err != nil {
+		return err
+	}
+	wr := c.wr
+	wr.Remote = &rnic.AddressVector{DGID: m.PGID, DIP: m.PIP, DMAC: m.PMAC, DQPN: c.dqpn}
+	return c.qp.PostSend(p, wr)
+}

@@ -1,0 +1,226 @@
+package masq
+
+import (
+	"fmt"
+
+	"masq/internal/mem"
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+	"masq/internal/virtio"
+)
+
+// Frontend is MasQ's paravirtual driver inside a VM. It implements
+// verbs.Provider: control-path verbs travel the virtio ring to the
+// backend; data-path verbs touch the memory-mapped queues directly.
+type Frontend struct {
+	b    *Backend
+	sess *session
+	ring *virtio.Ring
+}
+
+// Name implements verbs.Provider.
+func (f *Frontend) Name() string { return f.b.Mode.String() }
+
+// VBond exposes the device bond (inspection and tests).
+func (f *Frontend) VBond() *VBond { return f.sess.vbond }
+
+// call forwards one command and unwraps the response.
+func (f *Frontend) call(p *simtime.Proc, cmd any) (any, error) {
+	r := f.ring.Call(p, cmd).(resp)
+	return r.v, r.err
+}
+
+// Open implements verbs.Provider: both discovery verbs are forwarded
+// (Table 1 rows 1–2).
+func (f *Frontend) Open(p *simtime.Proc) (verbs.Device, error) {
+	if _, err := f.call(p, cmdGetDevList{}); err != nil {
+		return nil, err
+	}
+	if _, err := f.call(p, cmdOpenDev{}); err != nil {
+		return nil, err
+	}
+	return &fdevice{f: f}, nil
+}
+
+type fdevice struct {
+	f *Frontend
+}
+
+type fpd struct{ pd *rnic.PD }
+
+func (x fpd) Handle() uint32 { return x.pd.Num }
+
+// AllocPD mints the host-side PD object. The paper's Table 1 marks
+// alloc_pd as pure software ("-"); this implementation does forward it so
+// the backend owns a real PD, adding one virtio round trip to a verb the
+// application calls once per lifetime.
+func (d *fdevice) AllocPD(p *simtime.Proc) (verbs.PD, error) {
+	v, err := d.f.call(p, cmdAllocPD{})
+	if err != nil {
+		return nil, err
+	}
+	return fpd{v.(*rnic.PD)}, nil
+}
+
+type fmr struct {
+	d   *fdevice
+	mr  *rnic.MR
+	va  uint64
+	ln  int
+	gpa []mem.Extent
+}
+
+func (m fmr) LKey() uint32 { return m.mr.LKey }
+func (m fmr) RKey() uint32 { return m.mr.RKey }
+func (m fmr) Addr() uint64 { return m.va }
+func (m fmr) Len() int     { return m.ln }
+
+func (m fmr) Dereg(p *simtime.Proc) error {
+	if _, err := m.d.f.call(p, cmdDeregMR{sess: m.d.f.sess, mr: m.mr, gpaExt: m.gpa}); err != nil {
+		return err
+	}
+	return m.d.f.sess.vm.GVA.Unpin(m.va, m.ln)
+}
+
+// RegMR pins GVA→GPA in the guest and forwards the command with the
+// address mapping; the backend completes the walk to HPA (Fig. 4 step 1).
+func (d *fdevice) RegMR(p *simtime.Proc, vpd verbs.PD, va uint64, length int, access verbs.Access) (verbs.MR, error) {
+	rpd, ok := vpd.(fpd)
+	if !ok {
+		return nil, fmt.Errorf("masq: foreign PD handle")
+	}
+	gpa, err := d.f.sess.vm.GVA.Pin(va, length)
+	if err != nil {
+		return nil, err
+	}
+	v, err := d.f.call(p, cmdRegMR{
+		sess: d.f.sess, pd: rpd.pd, va: va, length: length, gpaExt: gpa, access: access,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fmr{d: d, mr: v.(*rnic.MR), va: va, ln: length, gpa: gpa}, nil
+}
+
+type fcq struct {
+	d  *fdevice
+	cq *rnic.CQ
+}
+
+// The CQ ring is memory-mapped into the guest: polling is direct.
+func (c fcq) TryPoll(p *simtime.Proc) (verbs.WC, bool) { return c.cq.TryPoll(p) }
+func (c fcq) Wait(p *simtime.Proc) verbs.WC            { return c.cq.Wait(p) }
+func (c fcq) WaitTimeout(p *simtime.Proc, t simtime.Duration) (verbs.WC, bool) {
+	return c.cq.WaitTimeout(p, t)
+}
+func (c fcq) Destroy(p *simtime.Proc) error {
+	_, err := c.d.f.call(p, cmdDestroyCQ{cq: c.cq})
+	return err
+}
+
+func (d *fdevice) CreateCQ(p *simtime.Proc, cqe int) (verbs.CQ, error) {
+	v, err := d.f.call(p, cmdCreateCQ{sess: d.f.sess, cqe: cqe})
+	if err != nil {
+		return nil, err
+	}
+	return fcq{d: d, cq: v.(*rnic.CQ)}, nil
+}
+
+type fqp struct {
+	d  *fdevice
+	qp *rnic.QP
+}
+
+func (q fqp) Num() uint32        { return q.qp.Num }
+func (q fqp) State() verbs.State { return q.qp.State() }
+
+// Modify forwards through the backend, where RConnrename rewrites the
+// destination addressing and RConntrack enforces security rules.
+func (q fqp) Modify(p *simtime.Proc, a verbs.Attr) error {
+	_, err := q.d.f.call(p, cmdModifyQP{sess: q.d.f.sess, qp: q.qp, attr: a})
+	return err
+}
+
+// PostSend is the data path: zero-copy, directly to the mapped queues.
+// The exception is a UD work request that names a (virtual) destination —
+// those are routed through the control path so RConnrename can rewrite
+// the address (Sec. 3.3.4).
+func (q fqp) PostSend(p *simtime.Proc, wr verbs.SendWR) error {
+	if q.qp.Type == rnic.UD && wr.Remote != nil {
+		dgid, dqpn := wr.Remote.DGID, wr.Remote.DQPN
+		wr.Remote = nil
+		_, err := q.d.f.call(p, cmdPostUD{sess: q.d.f.sess, qp: q.qp, wr: wr, dgid: dgid, dqpn: dqpn})
+		return err
+	}
+	return q.qp.PostSend(p, wr)
+}
+
+// PostRecv is pure data path.
+func (q fqp) PostRecv(p *simtime.Proc, wr verbs.RecvWR) error {
+	return q.qp.PostRecv(p, wr)
+}
+
+func (q fqp) Destroy(p *simtime.Proc) error {
+	_, err := q.d.f.call(p, cmdDestroyQP{sess: q.d.f.sess, qp: q.qp})
+	return err
+}
+
+func (d *fdevice) CreateQP(p *simtime.Proc, vpd verbs.PD, send, recv verbs.CQ, typ verbs.QPType, caps verbs.QPCaps) (verbs.QP, error) {
+	rpd, ok := vpd.(fpd)
+	if !ok {
+		return nil, fmt.Errorf("masq: foreign PD handle")
+	}
+	scq, ok1 := send.(fcq)
+	rcq, ok2 := recv.(fcq)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("masq: foreign CQ handle")
+	}
+	v, err := d.f.call(p, cmdCreateQP{
+		sess: d.f.sess, pd: rpd.pd, scq: scq.cq, rcq: rcq.cq, typ: typ, caps: caps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fqp{d: d, qp: v.(*rnic.QP)}, nil
+}
+
+type fsrq struct {
+	d *fdevice
+	s *rnic.SRQ
+}
+
+// SRQ posts are pure data path (the queue is memory-mapped like the RQ).
+func (x fsrq) PostRecv(p *simtime.Proc, wr verbs.RecvWR) error { return x.s.PostRecv(p, wr) }
+func (x fsrq) Len() int                                        { return x.s.Len() }
+func (x fsrq) Raw() *rnic.SRQ                                  { return x.s }
+func (x fsrq) Destroy(p *simtime.Proc) error {
+	_, err := x.d.f.call(p, cmdDestroySRQ{srq: x.s})
+	return err
+}
+
+// CreateSRQ is a control-path verb: forwarded to the backend.
+func (d *fdevice) CreateSRQ(p *simtime.Proc, maxWR int) (verbs.SRQ, error) {
+	v, err := d.f.call(p, cmdCreateSRQ{sess: d.f.sess, maxWR: maxWR})
+	if err != nil {
+		return nil, err
+	}
+	return fsrq{d: d, s: v.(*rnic.SRQ)}, nil
+}
+
+// QueryGID is answered locally by vBond (pure software, not forwarded);
+// the host-verb cost still applies in the guest library.
+func (d *fdevice) QueryGID(p *simtime.Proc) (packet.GID, error) {
+	p.Sleep(d.f.b.Host.Dev.VerbCost(rnic.VerbQueryGID))
+	g := d.f.sess.vbond.GID()
+	if g.IsZero() {
+		return g, fmt.Errorf("masq: virtual interface has no IP; GID not initialized")
+	}
+	return g, nil
+}
+
+func (d *fdevice) Close(p *simtime.Proc) error {
+	_, err := d.f.call(p, cmdCloseDev{})
+	return err
+}

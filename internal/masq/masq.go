@@ -1,0 +1,85 @@
+// Package masq implements MasQ ("queue masquerade"), the paper's software-
+// defined RDMA virtualization for virtual private clouds. Software defines
+// the communication rules on the control path; hardware executes the
+// communication operations on the data path.
+//
+// The pieces map one-to-one onto Sec. 3 of the paper:
+//
+//   - Frontend: the paravirtual driver inside the VM. Control-path verbs
+//     are forwarded to the backend over a virtio ring; data-path verbs
+//     (post_send, post_recv, poll_cq) go straight to the memory-mapped
+//     hardware queues, so the data path has zero virtualization overhead.
+//   - Backend: the host driver. It owns resource creation on the RNIC's
+//     functions, performs the GVA→GPA→HVA→HPA pinning walk for memory
+//     registration, and hosts RConnrename and RConntrack.
+//   - vBond: binds the VM's virtual Ethernet interface and virtual RDMA
+//     interface into one virtual RoCE device; derives the virtual GID from
+//     the interface's IP, keeps it synchronized via the inetaddr
+//     notification chain, and registers it with the SDN controller.
+//   - RConnrename: per-connection address virtualization. At
+//     modify_qp(RTR) the peer's virtual GID in the QP context is replaced
+//     by its physical GID, resolved through the controller (with a local
+//     cache), so the RNIC encapsulates every subsequent packet with
+//     physical addresses at zero per-packet cost.
+//   - RConntrack: RDMA connection tracking. Connection requests are
+//     checked against the tenant's security policy, established
+//     connections are recorded in the RCT table, and when rules change,
+//     connections that are no longer allowed are torn down by forcing
+//     their QPs into the ERROR state.
+//   - QoS: QPs are grouped (by tenant, by default) onto SR-IOV VFs, whose
+//     hardware token-bucket rate limiters enforce per-group bandwidth.
+package masq
+
+import (
+	"masq/internal/simtime"
+)
+
+// Params hold MasQ's control-path cost constants (Table 4) and cache
+// behaviour.
+type Params struct {
+	// RConntrack basic operation costs (Table 4).
+	ValidConnCost  simtime.Duration // valid_conn(): policy check at RTR
+	InsertConnCost simtime.Duration // insert_conn(): RCT table insert
+	DeleteConnCost simtime.Duration // delete_conn(): RCT table remove
+	InsertRuleCost simtime.Duration // insert_rule(): rule-chain update
+
+	// CacheLookupCost is a local mapping-cache hit ("completed within a
+	// few microseconds").
+	CacheLookupCost simtime.Duration
+
+	// PushDown pre-populates each backend's cache from the controller and
+	// keeps it updated, avoiding even first-query misses (Sec. 3.3.1).
+	PushDown bool
+}
+
+// DefaultParams returns the paper's measured costs.
+func DefaultParams() Params {
+	return Params{
+		ValidConnCost:   simtime.Us(2.5),
+		InsertConnCost:  simtime.Us(1.5),
+		DeleteConnCost:  simtime.Us(1.5),
+		InsertRuleCost:  simtime.Us(1.5),
+		CacheLookupCost: simtime.Us(2),
+		PushDown:        false,
+	}
+}
+
+// Mode selects which RNIC function MasQ places a VM's queues on.
+type Mode int
+
+// Placement modes.
+const (
+	// ModeVF groups each tenant's QPs onto a dedicated SR-IOV VF whose
+	// rate limiter provides tenant-level QoS (the default policy).
+	ModeVF Mode = iota
+	// ModePF places queues on the physical function: best-effort service
+	// with the lowest latency (Fig. 9).
+	ModePF
+)
+
+func (m Mode) String() string {
+	if m == ModePF {
+		return "masq-pf"
+	}
+	return "masq-vf"
+}

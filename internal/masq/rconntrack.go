@@ -1,0 +1,141 @@
+package masq
+
+import (
+	"fmt"
+
+	"masq/internal/overlay"
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simtime"
+)
+
+// ConnID is an RCT table key: (vni, src_vip, dst_vip, qpn), exactly the
+// tuple of Fig. 3.
+type ConnID struct {
+	VNI    uint32
+	SrcVIP packet.IP
+	DstVIP packet.IP
+	QPN    uint32
+}
+
+func (id ConnID) String() string {
+	return fmt.Sprintf("<VNI %d: %v -> %v, QP %d>", id.VNI, id.SrcVIP, id.DstVIP, id.QPN)
+}
+
+// trackedConn is one RCT table entry.
+type trackedConn struct {
+	id ConnID
+	qp *rnic.QP
+}
+
+// RConntrack performs connection tracking for RDMA flows (Sec. 3.3.2).
+// One instance runs per backend (per host). It enforces three properties:
+// a connection cannot be established unless a rule allows it; every data
+// packet belongs to an established connection (guaranteed by the RNIC's
+// RC semantics once establishment is gated); and when rules change,
+// connections that are no longer allowed are disconnected by moving their
+// QPs to ERROR.
+type RConntrack struct {
+	Stats struct {
+		Validated, Denied, Inserted, Deleted, Resets uint64
+	}
+
+	p      Params
+	dev    *rnic.Device
+	table  map[ConnID]*trackedConn
+	tenant map[uint32]*overlay.Tenant // tenants this host has seen
+}
+
+// NewRConntrack returns an empty tracker bound to the host's device.
+func NewRConntrack(p Params, dev *rnic.Device) *RConntrack {
+	return &RConntrack{
+		p:      p,
+		dev:    dev,
+		table:  make(map[ConnID]*trackedConn),
+		tenant: make(map[uint32]*overlay.Tenant),
+	}
+}
+
+// Watch subscribes the tracker to a tenant's security stack (security
+// group and, if present, FWaaS) so rule updates trigger re-validation of
+// established connections.
+func (ct *RConntrack) Watch(t *overlay.Tenant) {
+	if ct.tenant[t.VNI] != nil {
+		return
+	}
+	ct.tenant[t.VNI] = t
+	t.Subscribe(func() { ct.rulesChanged(t) })
+}
+
+// Validate is valid_conn(): called while handling modify_qp(RTR), it
+// checks the request against the tenant's security rules. Denied requests
+// never reach RConnrename, so the QPC is never configured.
+func (ct *RConntrack) Validate(p *simtime.Proc, id ConnID) error {
+	p.Sleep(ct.p.ValidConnCost)
+	ct.Stats.Validated++
+	t := ct.tenant[id.VNI]
+	if t == nil || !t.Allows(overlay.ProtoRDMA, id.SrcVIP, id.DstVIP) {
+		ct.Stats.Denied++
+		return fmt.Errorf("masq: connection %v denied by security rules", id)
+	}
+	return nil
+}
+
+// Insert is insert_conn(): record an established connection in the RCT
+// table.
+func (ct *RConntrack) Insert(p *simtime.Proc, id ConnID, qp *rnic.QP) {
+	p.Sleep(ct.p.InsertConnCost)
+	ct.Stats.Inserted++
+	ct.table[id] = &trackedConn{id: id, qp: qp}
+}
+
+// Delete is delete_conn(): called from destroy_qp.
+func (ct *RConntrack) Delete(p *simtime.Proc, qpn uint32) {
+	p.Sleep(ct.p.DeleteConnCost)
+	for id, c := range ct.table {
+		if c.qp.Num == qpn {
+			delete(ct.table, id)
+			ct.Stats.Deleted++
+			return
+		}
+	}
+}
+
+// Conns returns a snapshot of the RCT table (masqctl inspection).
+func (ct *RConntrack) Conns() []ConnID {
+	out := make([]ConnID, 0, len(ct.table))
+	for id := range ct.table {
+		out = append(out, id)
+	}
+	return out
+}
+
+// rulesChanged runs on every policy update: charge the rule-maintenance
+// cost, then scan the RCT table and reset every connection the new chain
+// no longer allows. The scan runs in its own process because resetting a
+// QP is a (costly) hardware command.
+func (ct *RConntrack) rulesChanged(t *overlay.Tenant) {
+	var victims []*trackedConn
+	for _, c := range ct.table {
+		if c.id.VNI != t.VNI {
+			continue
+		}
+		if !t.Allows(overlay.ProtoRDMA, c.id.SrcVIP, c.id.DstVIP) {
+			victims = append(victims, c)
+		}
+	}
+	ct.dev.Engine().Spawn("rconntrack.enforce", func(p *simtime.Proc) {
+		p.Sleep(ct.p.InsertRuleCost) // insert_rule(): update the local chain
+		for _, c := range victims {
+			if c.qp.State() == rnic.StateError {
+				continue
+			}
+			// reset_conn(): the dominant cost is the RNIC's modify_qp(ERR)
+			// (Fig. 18); it flushes outstanding work and stops the flow.
+			if err := ct.dev.ModifyQP(p, c.qp, rnic.Attr{ToState: rnic.StateError}); err == nil {
+				ct.Stats.Resets++
+			}
+			delete(ct.table, c.id)
+		}
+	})
+}

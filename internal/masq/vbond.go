@@ -1,0 +1,74 @@
+package masq
+
+import (
+	"masq/internal/controller"
+	"masq/internal/overlay"
+	"masq/internal/packet"
+)
+
+// VBond binds a VM's virtual Ethernet interface and virtual RDMA interface
+// into one virtual RoCE device (Sec. 3.3.1). It owns the virtual GID:
+// derived from the Ethernet interface's IP at initialization, re-derived
+// whenever the IP changes (via the inetaddr notification chain), and
+// registered with the SDN controller under (VNI, vGID) so RConnrename on
+// other hosts can resolve it.
+type VBond struct {
+	vni     uint32
+	vnic    *overlay.VMPort
+	ctrl    *controller.Controller
+	phys    controller.Mapping // this host's physical identity
+	vgid    packet.GID
+	stopped bool
+}
+
+// NewVBond creates the bond and performs the initial registration: the
+// virtual Ethernet interface already has a valid IP, so the GID is
+// initialized immediately, and a callback is hooked onto the notification
+// chain for future changes.
+func NewVBond(vni uint32, vnic *overlay.VMPort, ctrl *controller.Controller, phys controller.Mapping) *VBond {
+	b := &VBond{vni: vni, vnic: vnic, ctrl: ctrl, phys: phys}
+	if ip := vnic.EP.VIP; !ip.IsZero() {
+		b.vgid = packet.GIDFromIP(ip)
+		ctrl.Register(controller.Key{VNI: vni, VGID: b.vgid}, phys)
+	}
+	vnic.OnIPChange(b.ipChanged)
+	return b
+}
+
+// GID returns the current virtual GID — what the application sees from
+// ibv_query_gid (the frontend answers locally from here; the verb is pure
+// software and never forwarded).
+func (b *VBond) GID() packet.GID { return b.vgid }
+
+// VNI returns the tenant network identifier.
+func (b *VBond) VNI() uint32 { return b.vni }
+
+// VIP returns the bound interface's current virtual IP.
+func (b *VBond) VIP() packet.IP { return b.vnic.EP.VIP }
+
+// MAC returns the virtual Ethernet interface's MAC (tenants may not
+// change it; vBond obtained it from the backend at initialization).
+func (b *VBond) MAC() packet.MAC { return b.vnic.EP.VMAC }
+
+// Stop deactivates the bond: its notification-chain callback becomes a
+// no-op. Used when the VM migrates and a new bond (with the destination
+// host's physical identity) takes over; the mapping itself is NOT
+// unregistered — the successor overwrites it.
+func (b *VBond) Stop() { b.stopped = true }
+
+// ipChanged is the inetaddr-notification callback: update the GID and the
+// controller's mapping table immediately.
+func (b *VBond) ipChanged(old, new packet.IP) {
+	if b.stopped {
+		return
+	}
+	if !b.vgid.IsZero() {
+		b.ctrl.Unregister(controller.Key{VNI: b.vni, VGID: b.vgid})
+	}
+	if new.IsZero() {
+		b.vgid = packet.GID{}
+		return
+	}
+	b.vgid = packet.GIDFromIP(new)
+	b.ctrl.Register(controller.Key{VNI: b.vni, VGID: b.vgid}, b.phys)
+}

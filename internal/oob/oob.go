@@ -1,0 +1,240 @@
+// Package oob implements the out-of-band connection channel applications
+// use to exchange QP information before RDMA communication starts (the
+// "pre-established TCP connection" of Fig. 1, step 3 of Fig. 4). It is a
+// tiny message-oriented, connection-oriented transport over the tenant's
+// virtual Ethernet network, so it traverses the vswitch and is subject to
+// security groups — which is precisely how MasQ's first two security
+// subproblems are solved: deny the rule and the QP exchange never happens.
+package oob
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"masq/internal/overlay"
+	"masq/internal/packet"
+	"masq/internal/simnet"
+	"masq/internal/simtime"
+)
+
+// Errors returned by the stack.
+var (
+	ErrTimeout = errors.New("oob: connection timed out (blocked by security rules?)")
+	ErrClosed  = errors.New("oob: connection closed")
+	ErrNoRoute = errors.New("oob: cannot resolve destination")
+	ErrInUse   = errors.New("oob: port in use")
+)
+
+// header flags.
+const (
+	flagSYN byte = 1 << iota
+	flagSYNACK
+	flagDATA
+	flagFIN
+)
+
+// segment layout: srcPort(2) dstPort(2) flags(1) pad(3), then payload.
+const hdrLen = 8
+
+// Resolver maps a destination virtual IP to its virtual MAC (ARP within
+// the tenant network).
+type Resolver func(dst packet.IP) (packet.MAC, bool)
+
+type connKey struct {
+	remoteIP   packet.IP
+	localPort  uint16
+	remotePort uint16
+}
+
+// Stack is a VM's out-of-band transport endpoint over its overlay port.
+type Stack struct {
+	eng       *simtime.Engine
+	port      *overlay.VMPort
+	resolve   Resolver
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	dials     map[connKey]*simtime.Event[*Conn]
+	nextPort  uint16
+}
+
+// NewStack creates the endpoint and starts its demultiplexer.
+func NewStack(eng *simtime.Engine, port *overlay.VMPort, resolve Resolver) *Stack {
+	s := &Stack{
+		eng:       eng,
+		port:      port,
+		resolve:   resolve,
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		dials:     make(map[connKey]*simtime.Event[*Conn]),
+		nextPort:  20000,
+	}
+	eng.Spawn(fmt.Sprintf("oob:%v", port.EP.VIP), s.rxLoop)
+	return s
+}
+
+// IP returns the stack's current virtual IP.
+func (s *Stack) IP() packet.IP { return s.port.EP.VIP }
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	Port    uint16
+	backlog *simtime.Queue[*Conn]
+}
+
+// Accept blocks until a peer connects.
+func (l *Listener) Accept(p *simtime.Proc) *Conn { return l.backlog.Get(p) }
+
+// AcceptTimeout is Accept with a deadline.
+func (l *Listener) AcceptTimeout(p *simtime.Proc, d simtime.Duration) (*Conn, bool) {
+	return l.backlog.GetTimeout(p, d)
+}
+
+// Listen binds a port.
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	if s.listeners[port] != nil {
+		return nil, ErrInUse
+	}
+	l := &Listener{Port: port, backlog: simtime.NewQueue[*Conn](s.eng)}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Conn is an established bidirectional message channel.
+type Conn struct {
+	stack     *Stack
+	key       connKey
+	remoteMAC packet.MAC
+	inbox     *simtime.Queue[[]byte]
+	closed    bool
+}
+
+// RemoteIP returns the peer's virtual IP.
+func (c *Conn) RemoteIP() packet.IP { return c.key.remoteIP }
+
+// Dial connects to (ip, port), performing a SYN/SYNACK handshake through
+// the overlay. It fails with ErrTimeout when the handshake is filtered.
+func (s *Stack) Dial(p *simtime.Proc, ip packet.IP, port uint16, timeout simtime.Duration) (*Conn, error) {
+	mac, ok := s.resolve(ip)
+	if !ok {
+		return nil, ErrNoRoute
+	}
+	s.nextPort++
+	key := connKey{remoteIP: ip, localPort: s.nextPort, remotePort: port}
+	ev := simtime.NewEvent[*Conn](s.eng)
+	s.dials[key] = ev
+	s.send(mac, ip, key.localPort, port, flagSYN, nil)
+	conn, ok := ev.WaitTimeout(p, timeout)
+	delete(s.dials, key)
+	if !ok {
+		return nil, ErrTimeout
+	}
+	return conn, nil
+}
+
+// Send transmits one message on the connection.
+func (c *Conn) Send(p *simtime.Proc, msg []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.stack.send(c.remoteMAC, c.key.remoteIP, c.key.localPort, c.key.remotePort, flagDATA, msg)
+	return nil
+}
+
+// Recv blocks for the next message.
+func (c *Conn) Recv(p *simtime.Proc) ([]byte, error) {
+	msg := c.inbox.Get(p)
+	if msg == nil {
+		return nil, ErrClosed
+	}
+	return msg, nil
+}
+
+// RecvTimeout is Recv with a deadline.
+func (c *Conn) RecvTimeout(p *simtime.Proc, d simtime.Duration) ([]byte, error) {
+	msg, ok := c.inbox.GetTimeout(p, d)
+	if !ok {
+		return nil, ErrTimeout
+	}
+	if msg == nil {
+		return nil, ErrClosed
+	}
+	return msg, nil
+}
+
+// Close tears the connection down on both sides.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.stack.send(c.remoteMAC, c.key.remoteIP, c.key.localPort, c.key.remotePort, flagFIN, nil)
+	delete(c.stack.conns, c.key)
+}
+
+func (s *Stack) send(dstMAC packet.MAC, dstIP packet.IP, srcPort, dstPort uint16, flags byte, data []byte) {
+	seg := make([]byte, hdrLen+len(data))
+	binary.BigEndian.PutUint16(seg[0:2], srcPort)
+	binary.BigEndian.PutUint16(seg[2:4], dstPort)
+	seg[4] = flags
+	copy(seg[hdrLen:], data)
+	frame := packet.Serialize(
+		&packet.Ethernet{Dst: dstMAC, Src: s.port.EP.VMAC, EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: s.port.EP.VIP, Dst: dstIP},
+		packet.Payload(seg),
+	)
+	s.port.Send(simnet.Frame(frame))
+}
+
+func (s *Stack) rxLoop(p *simtime.Proc) {
+	for {
+		f := s.port.RX.Get(p)
+		pkt, err := packet.Decode(f)
+		if err != nil || pkt.IPv4() == nil || pkt.IPv4().Protocol != packet.ProtoTCP {
+			continue
+		}
+		seg := []byte(pkt.Payload)
+		if len(seg) < hdrLen {
+			continue
+		}
+		srcPort := binary.BigEndian.Uint16(seg[0:2])
+		dstPort := binary.BigEndian.Uint16(seg[2:4])
+		flags := seg[4]
+		srcIP := pkt.IPv4().Src
+		srcMAC := pkt.Ethernet().Src
+
+		switch {
+		case flags&flagSYN != 0:
+			l := s.listeners[dstPort]
+			if l == nil {
+				continue
+			}
+			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
+			conn := &Conn{stack: s, key: key, remoteMAC: srcMAC, inbox: simtime.NewQueue[[]byte](s.eng)}
+			s.conns[key] = conn
+			s.send(srcMAC, srcIP, dstPort, srcPort, flagSYNACK, nil)
+			l.backlog.Put(conn)
+		case flags&flagSYNACK != 0:
+			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
+			if ev := s.dials[key]; ev != nil {
+				conn := &Conn{stack: s, key: key, remoteMAC: srcMAC, inbox: simtime.NewQueue[[]byte](s.eng)}
+				s.conns[key] = conn
+				ev.Trigger(conn)
+			}
+		case flags&flagDATA != 0:
+			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
+			if conn := s.conns[key]; conn != nil {
+				data := make([]byte, len(seg)-hdrLen)
+				copy(data, seg[hdrLen:])
+				conn.inbox.Put(data)
+			}
+		case flags&flagFIN != 0:
+			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
+			if conn := s.conns[key]; conn != nil {
+				conn.closed = true
+				conn.inbox.Put(nil)
+				delete(s.conns, key)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package overlay implements the virtual TCP/IP network of the testbed:
+// per-host virtual switches with VXLAN tunnel endpoints (the OVS+VXLAN /
+// Weave+VXLAN networks of the paper's Table 3), tenant security policies
+// (security group + FWaaS rule chains with default deny), and flow
+// connection tracking.
+//
+// Two consumers sit on top: the out-of-band TCP-like channel applications
+// use to exchange QP information (package oob) — which is how denying a
+// rule prevents an RDMA connection from ever being established — and
+// MasQ's RConntrack, which evaluates the same tenant policies on the RDMA
+// control path and subscribes to rule updates.
+package overlay
+
+import (
+	"sort"
+
+	"masq/internal/packet"
+)
+
+// Action is a rule verdict.
+type Action int
+
+// Rule actions.
+const (
+	Deny Action = iota
+	Allow
+)
+
+func (a Action) String() string {
+	if a == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Proto selects which traffic a rule matches.
+type Proto int
+
+// Rule protocols. ProtoRDMA matches RDMA connections (evaluated by
+// RConntrack); ProtoTCP matches the overlay TCP path; ProtoAny both.
+const (
+	ProtoAny Proto = iota
+	ProtoTCP
+	ProtoRDMA
+)
+
+// Rule is one security-group / firewall entry. Rules are evaluated in
+// descending priority order; the first match wins; no match means deny.
+type Rule struct {
+	ID       int
+	Priority int
+	Proto    Proto
+	Src, Dst packet.CIDR
+	Action   Action
+}
+
+// Matches reports whether the rule applies to a flow.
+func (r Rule) Matches(proto Proto, src, dst packet.IP) bool {
+	if r.Proto != ProtoAny && proto != ProtoAny && r.Proto != proto {
+		return false
+	}
+	return r.Src.Contains(src) && r.Dst.Contains(dst)
+}
+
+// Policy is a tenant's ordered rule chain plus an update-notification list.
+type Policy struct {
+	rules   []Rule
+	nextID  int
+	version uint64
+	subs    []func()
+}
+
+// NewPolicy returns an empty (default-deny) policy.
+func NewPolicy() *Policy { return &Policy{nextID: 1} }
+
+// Version increases on every rule change.
+func (pl *Policy) Version() uint64 { return pl.version }
+
+// Rules returns a copy of the chain in evaluation order.
+func (pl *Policy) Rules() []Rule { return append([]Rule(nil), pl.rules...) }
+
+// AddRule inserts a rule and returns its ID. Subscribers are notified.
+func (pl *Policy) AddRule(r Rule) int {
+	r.ID = pl.nextID
+	pl.nextID++
+	pl.rules = append(pl.rules, r)
+	sort.SliceStable(pl.rules, func(i, j int) bool {
+		return pl.rules[i].Priority > pl.rules[j].Priority
+	})
+	pl.bump()
+	return r.ID
+}
+
+// RemoveRule deletes a rule by ID; it reports whether it existed.
+func (pl *Policy) RemoveRule(id int) bool {
+	for i, r := range pl.rules {
+		if r.ID == id {
+			pl.rules = append(pl.rules[:i], pl.rules[i+1:]...)
+			pl.bump()
+			return true
+		}
+	}
+	return false
+}
+
+func (pl *Policy) bump() {
+	pl.version++
+	for _, fn := range pl.subs {
+		fn()
+	}
+}
+
+// Subscribe registers fn to run after every rule change (RConntrack's
+// trigger for re-validating established connections).
+func (pl *Policy) Subscribe(fn func()) { pl.subs = append(pl.subs, fn) }
+
+// Allows evaluates the chain for a flow. Default deny.
+func (pl *Policy) Allows(proto Proto, src, dst packet.IP) bool {
+	for _, r := range pl.rules {
+		if r.Matches(proto, src, dst) {
+			return r.Action == Allow
+		}
+	}
+	return false
+}
+
+// RuleCount returns the chain length (cost model input).
+func (pl *Policy) RuleCount() int { return len(pl.rules) }

@@ -1,0 +1,332 @@
+package packet
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// icrcTable is the CRC-32C polynomial used for the RoCEv2 invariant CRC.
+// (The real ICRC masks variant fields; the simulation computes it over the
+// transport headers and payload, which protects everything that matters
+// end-to-end here.)
+var icrcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Serialize encodes the layers outside-in into a single wire buffer.
+// IPv4.TotalLen and UDP.Length are filled in when zero. If the packet
+// contains a BTH, a 4-byte ICRC covering the BTH and everything after it is
+// appended (and accounted for in the length fields).
+func Serialize(layers ...Layer) []byte {
+	total := 0
+	bthIdx := -1
+	for i, l := range layers {
+		total += l.headerLen()
+		if l.LayerType() == LayerBTH {
+			bthIdx = i
+		}
+	}
+	icrcLen := 0
+	if bthIdx >= 0 {
+		icrcLen = 4
+	}
+	buf := make([]byte, total+icrcLen)
+
+	// Fill length fields bottom-up first: bytes remaining after each header.
+	remaining := total + icrcLen
+	for _, l := range layers {
+		switch h := l.(type) {
+		case *IPv4:
+			if h.TotalLen == 0 {
+				h.TotalLen = uint16(remaining)
+			}
+		case *UDP:
+			if h.Length == 0 {
+				h.Length = uint16(remaining)
+			}
+		}
+		remaining -= l.headerLen()
+	}
+
+	off := 0
+	bthOff := -1
+	for i, l := range layers {
+		if i == bthIdx {
+			bthOff = off
+		}
+		l.marshal(buf[off : off+l.headerLen()])
+		off += l.headerLen()
+	}
+	if bthIdx >= 0 {
+		crc := crc32.Checksum(buf[bthOff:off], icrcTable)
+		buf[off] = byte(crc >> 24)
+		buf[off+1] = byte(crc >> 16)
+		buf[off+2] = byte(crc >> 8)
+		buf[off+3] = byte(crc)
+	}
+	return buf
+}
+
+// Packet is a decoded packet: its layers outside-in, the application
+// payload, and — for VXLAN — the decoded inner packet.
+type Packet struct {
+	Layers  []Layer
+	Payload Payload
+	Inner   *Packet // non-nil after a VXLAN header
+	// InnerRaw is the undecoded inner frame bytes behind a VXLAN header,
+	// useful for forwarding without re-serialization.
+	InnerRaw []byte
+}
+
+// Layer returns the first layer of type t, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.Layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// Ethernet returns the Ethernet header, or nil.
+func (p *Packet) Ethernet() *Ethernet {
+	if l := p.Layer(LayerEthernet); l != nil {
+		return l.(*Ethernet)
+	}
+	return nil
+}
+
+// IPv4 returns the IPv4 header, or nil.
+func (p *Packet) IPv4() *IPv4 {
+	if l := p.Layer(LayerIPv4); l != nil {
+		return l.(*IPv4)
+	}
+	return nil
+}
+
+// UDP returns the UDP header, or nil.
+func (p *Packet) UDP() *UDP {
+	if l := p.Layer(LayerUDP); l != nil {
+		return l.(*UDP)
+	}
+	return nil
+}
+
+// VXLAN returns the VXLAN header, or nil.
+func (p *Packet) VXLAN() *VXLAN {
+	if l := p.Layer(LayerVXLAN); l != nil {
+		return l.(*VXLAN)
+	}
+	return nil
+}
+
+// BTH returns the base transport header, or nil.
+func (p *Packet) BTH() *BTH {
+	if l := p.Layer(LayerBTH); l != nil {
+		return l.(*BTH)
+	}
+	return nil
+}
+
+// RETH returns the RDMA extended transport header, or nil.
+func (p *Packet) RETH() *RETH {
+	if l := p.Layer(LayerRETH); l != nil {
+		return l.(*RETH)
+	}
+	return nil
+}
+
+// AETH returns the ACK extended transport header, or nil.
+func (p *Packet) AETH() *AETH {
+	if l := p.Layer(LayerAETH); l != nil {
+		return l.(*AETH)
+	}
+	return nil
+}
+
+// DETH returns the datagram extended transport header, or nil.
+func (p *Packet) DETH() *DETH {
+	if l := p.Layer(LayerDETH); l != nil {
+		return l.(*DETH)
+	}
+	return nil
+}
+
+// AtomicETH returns the atomic request header, or nil.
+func (p *Packet) AtomicETH() *AtomicETH {
+	if l := p.Layer(LayerAtomicETH); l != nil {
+		return l.(*AtomicETH)
+	}
+	return nil
+}
+
+// AtomicAckETH returns the atomic response header, or nil.
+func (p *Packet) AtomicAckETH() *AtomicAckETH {
+	if l := p.Layer(LayerAtomicAckETH); l != nil {
+		return l.(*AtomicAckETH)
+	}
+	return nil
+}
+
+// ImmDt returns the immediate-data header, or nil.
+func (p *Packet) ImmDt() *ImmDt {
+	if l := p.Layer(LayerImmDt); l != nil {
+		return l.(*ImmDt)
+	}
+	return nil
+}
+
+func (p *Packet) String() string {
+	s := ""
+	for i, l := range p.Layers {
+		if i > 0 {
+			s += "/"
+		}
+		s += l.LayerType().String()
+	}
+	if p.Inner != nil {
+		s += "/(" + p.Inner.String() + ")"
+	}
+	if len(p.Payload) > 0 {
+		s += fmt.Sprintf("/Payload(%dB)", len(p.Payload))
+	}
+	return s
+}
+
+// Decode parses a full Ethernet frame produced by Serialize.
+func Decode(data []byte) (*Packet, error) {
+	p := &Packet{}
+	eth := &Ethernet{}
+	n, err := eth.unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	p.Layers = append(p.Layers, eth)
+	rest := data[n:]
+
+	if eth.EtherType != EtherTypeIPv4 {
+		p.Payload = Payload(rest)
+		return p, nil
+	}
+	ip := &IPv4{}
+	n, err = ip.unmarshal(rest)
+	if err != nil {
+		return nil, err
+	}
+	p.Layers = append(p.Layers, ip)
+	if int(ip.TotalLen) > len(rest) {
+		return nil, fmt.Errorf("packet: ipv4 total length %d exceeds frame (%d)", ip.TotalLen, len(rest))
+	}
+	rest = rest[n:ip.TotalLen]
+
+	if ip.Protocol != ProtoUDP {
+		p.Payload = Payload(rest)
+		return p, nil
+	}
+	udp := &UDP{}
+	n, err = udp.unmarshal(rest)
+	if err != nil {
+		return nil, err
+	}
+	p.Layers = append(p.Layers, udp)
+	rest = rest[n:]
+
+	switch udp.DstPort {
+	case PortRoCEv2:
+		return p, decodeRoCE(p, rest)
+	case PortVXLAN:
+		vx := &VXLAN{}
+		n, err = vx.unmarshal(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Layers = append(p.Layers, vx)
+		inner, err := Decode(rest[n:])
+		if err != nil {
+			return nil, fmt.Errorf("packet: inner frame: %w", err)
+		}
+		p.Inner = inner
+		p.InnerRaw = rest[n:]
+		return p, nil
+	default:
+		p.Payload = Payload(rest)
+		return p, nil
+	}
+}
+
+func decodeRoCE(p *Packet, rest []byte) error {
+	start := rest // ICRC covers from BTH
+	bth := &BTH{}
+	n, err := bth.unmarshal(rest)
+	if err != nil {
+		return err
+	}
+	p.Layers = append(p.Layers, bth)
+	rest = rest[n:]
+
+	op := bth.OpCode
+	if op.IsUD() {
+		deth := &DETH{}
+		n, err = deth.unmarshal(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, deth)
+		rest = rest[n:]
+	}
+	if op == OpReadRequest || (op.IsWrite() && (op.IsFirst() || op == OpWriteOnly || op == OpWriteOnlyImm)) {
+		reth := &RETH{}
+		n, err = reth.unmarshal(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, reth)
+		rest = rest[n:]
+	}
+	if op.IsAtomic() {
+		ae := &AtomicETH{}
+		n, err = ae.unmarshal(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, ae)
+		rest = rest[n:]
+	}
+	if op == OpAcknowledge || op == OpAtomicAcknowledge || op == OpReadResponseFirst || op == OpReadResponseLast || op == OpReadResponseOnly {
+		aeth := &AETH{}
+		n, err = aeth.unmarshal(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, aeth)
+		rest = rest[n:]
+	}
+	if op == OpAtomicAcknowledge {
+		aa := &AtomicAckETH{}
+		n, err = aa.unmarshal(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, aa)
+		rest = rest[n:]
+	}
+	if op.HasImmediate() {
+		imm := &ImmDt{}
+		n, err = imm.unmarshal(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, imm)
+		rest = rest[n:]
+	}
+
+	if len(rest) < 4 {
+		return fmt.Errorf("packet: roce packet missing icrc")
+	}
+	icrc := uint32(rest[len(rest)-4])<<24 | uint32(rest[len(rest)-3])<<16 |
+		uint32(rest[len(rest)-2])<<8 | uint32(rest[len(rest)-1])
+	covered := start[:len(start)-4]
+	if got := crc32.Checksum(covered, icrcTable); got != icrc {
+		return fmt.Errorf("packet: icrc mismatch: got %#x want %#x", got, icrc)
+	}
+	p.Payload = Payload(rest[:len(rest)-4])
+	return nil
+}

@@ -1,0 +1,463 @@
+package rnic
+
+import (
+	"fmt"
+
+	"masq/internal/mem"
+	"masq/internal/packet"
+	"masq/internal/simnet"
+	"masq/internal/simtime"
+)
+
+// Stats counts device activity.
+type Stats struct {
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+	TxMsgs, RxMsgs       uint64
+	Retransmits          uint64
+	NAKsSent             uint64
+	RNRsSent             uint64
+	Dropped              uint64 // packets discarded (bad QP, ERROR state, UD without WQE...)
+}
+
+// Device is one RoCEv2 RNIC: a physical function, up to MaxVFs virtual
+// functions, and the shared transport pipelines behind them.
+type Device struct {
+	Name string
+	P    Params
+
+	// Ingress receives the RoCEv2 packets demultiplexed from the host's
+	// physical port (the host steers UDP/4791 here).
+	Ingress *simtime.Queue[*packet.Packet]
+
+	Stats Stats
+
+	eng     *simtime.Engine
+	hostMem mem.Memory
+	port    *simnet.Port
+
+	funcs []*Func
+	qps   map[uint32]*QP
+	mrs   map[uint32]*MR
+	cqs   map[uint32]*CQ
+	pds   map[uint32]*PD
+
+	nextQPN, nextKey, nextCQ, nextPD uint32
+
+	firmware *simtime.Resource
+	txActive *simtime.Queue[*QP]
+	ctxCache *lruCache
+}
+
+// Func is a PCI function of the device: index 0 is the physical function,
+// higher indices are SR-IOV virtual functions.
+type Func struct {
+	Index int
+	IP    packet.IP
+	MAC   packet.MAC
+
+	dev     *Device
+	gids    []packet.GID
+	limiter *tokenBucket
+	IOMMU   bool // traffic DMA-remapped (SR-IOV passthrough)
+}
+
+// NewDevice creates a device whose DMA engine reads and writes hostMem.
+// The physical function exists immediately; call AttachPort before use.
+func NewDevice(eng *simtime.Engine, name string, p Params, hostMem mem.Memory) *Device {
+	d := &Device{
+		Name:     name,
+		P:        p,
+		Ingress:  simtime.NewQueue[*packet.Packet](eng),
+		eng:      eng,
+		hostMem:  hostMem,
+		qps:      make(map[uint32]*QP),
+		mrs:      make(map[uint32]*MR),
+		cqs:      make(map[uint32]*CQ),
+		pds:      make(map[uint32]*PD),
+		nextQPN:  1,
+		nextKey:  1,
+		nextCQ:   1,
+		nextPD:   1,
+		firmware: simtime.NewResource(eng, 1),
+		txActive: simtime.NewQueue[*QP](eng),
+	}
+	if p.CtxCacheSize > 0 {
+		d.ctxCache = newLRU(p.CtxCacheSize)
+	}
+	d.funcs = []*Func{{Index: 0, dev: d, gids: make([]packet.GID, 1)}}
+	return d
+}
+
+// AttachPort wires the device's wire side and starts the TX/RX pipelines.
+func (d *Device) AttachPort(port *simnet.Port) {
+	d.port = port
+	d.eng.Spawn(d.Name+".tx", d.txLoop)
+	d.eng.Spawn(d.Name+".rx", d.rxLoop)
+}
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *simtime.Engine { return d.eng }
+
+// ServePort attaches the port and pumps every RoCEv2 frame arriving on it
+// into the device. Hosts that share the port with an overlay network run
+// their own demultiplexer and feed Ingress themselves; this helper is for
+// RDMA-only wiring (and tests).
+func (d *Device) ServePort(port *simnet.Port) {
+	d.AttachPort(port)
+	d.eng.Spawn(d.Name+".demux", func(p *simtime.Proc) {
+		for {
+			f := port.RX.Get(p)
+			pkt, err := packet.Decode(f)
+			if err != nil {
+				d.Stats.Dropped++
+				continue
+			}
+			if u := pkt.UDP(); u != nil && u.DstPort == packet.PortRoCEv2 {
+				d.Ingress.Put(pkt)
+			}
+		}
+	})
+}
+
+// PF returns the physical function.
+func (d *Device) PF() *Func { return d.funcs[0] }
+
+// Funcs returns all functions, PF first.
+func (d *Device) Funcs() []*Func { return d.funcs }
+
+// AddVF creates a new virtual function. The device exposes at most
+// Params.MaxVFs of them (Table 5: 8 on non-ARI PCIe).
+func (d *Device) AddVF() (*Func, error) {
+	if len(d.funcs)-1 >= d.P.MaxVFs {
+		return nil, fmt.Errorf("%w: device %s supports %d VFs", ErrNoResources, d.Name, d.P.MaxVFs)
+	}
+	f := &Func{Index: len(d.funcs), dev: d, gids: make([]packet.GID, 1)}
+	d.funcs = append(d.funcs, f)
+	return f, nil
+}
+
+// SetAddr assigns the function's network identity. For the PF this is the
+// host's underlay address; for a passthrough VF it is the VM's address.
+func (f *Func) SetAddr(ip packet.IP, mac packet.MAC) {
+	f.IP = ip
+	f.MAC = mac
+	f.gids[0] = packet.GIDFromIP(ip)
+}
+
+// GID returns GID table entry i (zero GID if unset).
+func (f *Func) GID(i int) packet.GID {
+	if i < len(f.gids) {
+		return f.gids[i]
+	}
+	return packet.GID{}
+}
+
+// SetGID writes GID table entry i, growing the table as needed.
+func (f *Func) SetGID(i int, g packet.GID) {
+	for len(f.gids) <= i {
+		f.gids = append(f.gids, packet.GID{})
+	}
+	f.gids[i] = g
+}
+
+// IsVF reports whether the function is a virtual function.
+func (f *Func) IsVF() bool { return f.Index > 0 }
+
+// SetRateLimit installs (or replaces) a token-bucket rate limiter on the
+// function, in bits per second. A rate of 0 removes the limit.
+func (f *Func) SetRateLimit(bps float64) {
+	if bps <= 0 {
+		f.limiter = nil
+		return
+	}
+	f.limiter = newTokenBucket(bps, float64(2*f.dev.P.MTU*8))
+}
+
+// RateLimit returns the configured limit in bits per second (0 = none).
+func (f *Func) RateLimit() float64 {
+	if f.limiter == nil {
+		return 0
+	}
+	return f.limiter.rate
+}
+
+func (d *Device) pollCost() simtime.Duration { return d.P.VerbCost[VerbPollCQ] }
+
+// exec charges a control verb: firmware is serialized, VFs pay the control
+// multiplier, and extra (e.g. per-page pinning) is added on top.
+func (d *Device) exec(p *simtime.Proc, v Verb, f *Func, extra simtime.Duration) {
+	d.firmware.Acquire(p)
+	cost := d.P.VerbCost[v]
+	if f != nil && f.IsVF() {
+		cost = simtime.Duration(float64(cost) * d.P.VFControlFactor)
+	}
+	p.Sleep(cost + extra)
+	d.firmware.Release()
+}
+
+// VerbCost exposes the PF-side cost of a verb (for harness reporting).
+func (d *Device) VerbCost(v Verb) simtime.Duration { return d.P.VerbCost[v] }
+
+// GetDeviceList models ibv_get_device_list.
+func (d *Device) GetDeviceList(p *simtime.Proc) { d.exec(p, VerbGetDeviceList, nil, 0) }
+
+// Open models ibv_open_device.
+func (d *Device) Open(p *simtime.Proc) { d.exec(p, VerbOpenDevice, nil, 0) }
+
+// Close models ibv_close_device.
+func (d *Device) Close(p *simtime.Proc) { d.exec(p, VerbCloseDevice, nil, 0) }
+
+// AllocPD models ibv_alloc_pd.
+func (d *Device) AllocPD(p *simtime.Proc, f *Func) *PD {
+	d.exec(p, VerbAllocPD, f, 0)
+	pd := &PD{Num: d.nextPD, dev: d}
+	d.nextPD++
+	d.pds[pd.Num] = pd
+	return pd
+}
+
+// DeallocPD models ibv_dealloc_pd.
+func (d *Device) DeallocPD(p *simtime.Proc, pd *PD) {
+	d.exec(p, VerbDeallocPD, nil, 0)
+	delete(d.pds, pd.Num)
+}
+
+// RegMR models ibv_reg_mr: the caller (a driver) has already pinned the
+// buffer and translated it to host-physical extents; the device records
+// them in its MTT and mints the keys. va is the address the *application*
+// will use in work requests.
+func (d *Device) RegMR(p *simtime.Proc, f *Func, pd *PD, va uint64, length int, ext []mem.Extent, access Access) *MR {
+	pages := simtime.Duration(0)
+	if length > mem.PageSize {
+		pages = simtime.Duration(length/mem.PageSize) * d.P.RegMRPerPage
+	}
+	d.exec(p, VerbRegMR, f, pages)
+	mr := &MR{LKey: d.nextKey, RKey: d.nextKey, VA: va, Len: length, Access: access, PD: pd, ext: ext}
+	d.nextKey++
+	d.mrs[mr.LKey] = mr
+	return mr
+}
+
+// DeregMR models ibv_dereg_mr.
+func (d *Device) DeregMR(p *simtime.Proc, f *Func, mr *MR) {
+	d.exec(p, VerbDeregMR, f, 0)
+	delete(d.mrs, mr.LKey)
+}
+
+// LookupMR finds a region by rkey/lkey.
+func (d *Device) LookupMR(key uint32) *MR { return d.mrs[key] }
+
+// CreateCQ models ibv_create_cq.
+func (d *Device) CreateCQ(p *simtime.Proc, f *Func, capacity int) *CQ {
+	d.exec(p, VerbCreateCQ, f, 0)
+	cq := &CQ{Num: d.nextCQ, Cap: capacity, dev: d, items: simtime.NewQueue[WC](d.eng)}
+	d.nextCQ++
+	d.cqs[cq.Num] = cq
+	return cq
+}
+
+// DestroyCQ models ibv_destroy_cq.
+func (d *Device) DestroyCQ(p *simtime.Proc, f *Func, cq *CQ) {
+	d.exec(p, VerbDestroyCQ, f, 0)
+	delete(d.cqs, cq.Num)
+}
+
+// QueryGID models ibv_query_gid on the function's GID table.
+func (d *Device) QueryGID(p *simtime.Proc, f *Func, idx int) packet.GID {
+	d.exec(p, VerbQueryGID, f, 0)
+	return f.GID(idx)
+}
+
+// QPCaps sizes a queue pair's work queues. When SRQ is set the QP has no
+// private receive queue: SEND arrivals consume WQEs from the shared queue.
+type QPCaps struct {
+	MaxSendWR, MaxRecvWR int
+	SRQ                  *SRQ
+}
+
+// DefaultCaps mirrors the paper's create_qp parameters.
+func DefaultCaps() QPCaps { return QPCaps{MaxSendWR: 100, MaxRecvWR: 100} }
+
+// CreateQP models ibv_create_qp. The QP starts in RESET.
+func (d *Device) CreateQP(p *simtime.Proc, f *Func, pd *PD, scq, rcq *CQ, typ QPType, caps QPCaps) *QP {
+	d.exec(p, VerbCreateQP, f, 0)
+	qp := &QP{
+		Num:    d.nextQPN,
+		Type:   typ,
+		PD:     pd,
+		SendCQ: scq,
+		RecvCQ: rcq,
+		Caps:   caps,
+		srq:    caps.SRQ,
+		fn:     f,
+		dev:    d,
+	}
+	d.nextQPN++
+	d.qps[qp.Num] = qp
+	return qp
+}
+
+// SRQ is a shared receive queue: many QPs draw receive WQEs from one pool,
+// which is how RC servers with thousands of connections bound their
+// receive-buffer footprint (the scalability concern of Sec. 3.3.4's
+// references). Completions still arrive on each QP's receive CQ.
+type SRQ struct {
+	Num   uint32
+	MaxWR int
+
+	dev *Device
+	rq  []RecvWR
+}
+
+// CreateSRQ models ibv_create_srq.
+func (d *Device) CreateSRQ(p *simtime.Proc, f *Func, maxWR int) *SRQ {
+	d.exec(p, VerbCreateSRQ, f, 0)
+	s := &SRQ{Num: d.nextCQ, MaxWR: maxWR, dev: d}
+	d.nextCQ++
+	return s
+}
+
+// DestroySRQ models ibv_destroy_srq.
+func (d *Device) DestroySRQ(p *simtime.Proc, f *Func, s *SRQ) {
+	d.exec(p, VerbDestroySRQ, f, 0)
+	s.rq = nil
+}
+
+// PostRecv models ibv_post_srq_recv.
+func (s *SRQ) PostRecv(p *simtime.Proc, wr RecvWR) error {
+	p.Sleep(s.dev.P.VerbCost[VerbPostRecv])
+	if len(s.rq) >= s.MaxWR {
+		return ErrQueueFull
+	}
+	s.rq = append(s.rq, wr)
+	return nil
+}
+
+// Len returns the number of posted shared WQEs.
+func (s *SRQ) Len() int { return len(s.rq) }
+
+// QP returns the queue pair with the given number, or nil.
+func (d *Device) QP(qpn uint32) *QP { return d.qps[qpn] }
+
+// QPs returns the live QP count (diagnostics).
+func (d *Device) QPs() int { return len(d.qps) }
+
+// DestroyQP models ibv_destroy_qp.
+func (d *Device) DestroyQP(p *simtime.Proc, qp *QP) {
+	d.exec(p, VerbDestroyQP, qp.fn, 0)
+	qp.flush()
+	delete(d.qps, qp.Num)
+}
+
+// Attr carries modify_qp arguments. Only fields relevant to the target
+// state are read.
+type Attr struct {
+	ToState State
+	AV      AddressVector // RTR: remote endpoint (post-RConnrename view)
+	QKey    uint32        // UD
+}
+
+// ModifyQP models ibv_modify_qp, enforcing the Fig. 5 state machine.
+// Moving to ERROR applies the Fig. 18 reset-cost model and flushes
+// outstanding work (Table 2).
+func (d *Device) ModifyQP(p *simtime.Proc, qp *QP, a Attr) error {
+	if !transitionAllowed(qp.state, a.ToState) {
+		return fmt.Errorf("%w: %v → %v", ErrBadTransition, qp.state, a.ToState)
+	}
+	switch a.ToState {
+	case StateInit:
+		d.exec(p, VerbModifyQPInit, qp.fn, 0)
+		qp.SGID = qp.fn.GID(0)
+		qp.SrcIP = qp.fn.IP
+		qp.SrcMAC = qp.fn.MAC
+	case StateRTR:
+		d.exec(p, VerbModifyQPRTR, qp.fn, 0)
+		qp.AV = a.AV
+		qp.QKey = a.QKey
+	case StateRTS:
+		d.exec(p, VerbModifyQPRTS, qp.fn, 0)
+	case StateError:
+		d.exec(p, VerbModifyQPErr, qp.fn, d.resetCost(qp))
+	case StateReset:
+		qp.clear()
+	case StateSQD, StateSQE:
+		// Administrative transitions; charge the generic RTS cost.
+		d.exec(p, VerbModifyQPRTS, qp.fn, 0)
+	}
+	qp.state = a.ToState
+	if a.ToState == StateError {
+		qp.flush()
+	}
+	if a.ToState == StateRTS {
+		qp.kick()
+	}
+	return nil
+}
+
+// resetCost models Fig. 18: a kernel-routine share plus an RNIC share that
+// is larger on a VF and grows under traffic load.
+func (d *Device) resetCost(qp *QP) simtime.Duration {
+	rnicShare := d.P.ResetRNICPF
+	if qp.fn.IsVF() {
+		rnicShare = d.P.ResetRNICVF
+	}
+	if qp.busy() {
+		rnicShare += d.P.ResetTrafficExtra
+	}
+	// The verb table has no entry for modify_qp(ERR); the whole cost is
+	// kernel + RNIC shares.
+	return d.P.ResetKernel + rnicShare
+}
+
+// ResetCostBreakdown reports the kernel and RNIC shares that a reset of qp
+// would be charged right now (harness support for Fig. 18).
+func (d *Device) ResetCostBreakdown(qp *QP) (kernel, rnicShare simtime.Duration) {
+	total := d.resetCost(qp)
+	return d.P.ResetKernel, total - d.P.ResetKernel
+}
+
+// ctxLookup models the on-chip QP-context cache: a miss costs extra
+// pipeline occupancy. Returns 0 when the model is disabled.
+func (d *Device) ctxLookup(qpn uint32) simtime.Duration {
+	if d.ctxCache == nil {
+		return 0
+	}
+	if d.ctxCache.touch(qpn) {
+		return 0
+	}
+	return d.P.CtxMissPenalty
+}
+
+// lruCache is a small LRU set of QP numbers.
+type lruCache struct {
+	cap   int
+	seq   uint64
+	items map[uint32]uint64
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, items: make(map[uint32]uint64)}
+}
+
+// touch marks qpn used and reports whether it was already cached,
+// evicting the least recently used entry on insert.
+func (c *lruCache) touch(qpn uint32) bool {
+	c.seq++
+	if _, ok := c.items[qpn]; ok {
+		c.items[qpn] = c.seq
+		return true
+	}
+	if len(c.items) >= c.cap {
+		var oldK uint32
+		oldV := ^uint64(0)
+		for k, v := range c.items {
+			if v < oldV {
+				oldK, oldV = k, v
+			}
+		}
+		delete(c.items, oldK)
+	}
+	c.items[qpn] = c.seq
+	return false
+}

@@ -1,0 +1,370 @@
+package rnic
+
+import (
+	"fmt"
+
+	"masq/internal/packet"
+	"masq/internal/simtime"
+)
+
+// QP is a queue pair. Send-side transport state (PSNs, window, retries)
+// lives here; the device's shared TX/RX pipelines operate on it.
+type QP struct {
+	Num    uint32
+	Type   QPType
+	Caps   QPCaps
+	PD     *PD
+	SendCQ *CQ
+	RecvCQ *CQ
+
+	// Source addressing, latched from the function at modify_qp(INIT).
+	SGID   packet.GID
+	SrcIP  packet.IP
+	SrcMAC packet.MAC
+
+	// AV is the remote endpoint, written at modify_qp(RTR). This is the
+	// part of the QPC that MasQ's RConnrename rewrites from virtual to
+	// physical addresses.
+	AV   AddressVector
+	QKey uint32
+
+	dev   *Device
+	fn    *Func
+	srq   *SRQ // shared receive queue (nil = private RQ)
+	state State
+
+	// Requester (send) side.
+	sq             []*sendWQE
+	txIdx          int    // sq index currently being packetized
+	txOff          int    // byte offset within sq[txIdx]
+	sndNxt, sndUna uint32 // 24-bit PSNs
+	retries        int
+	rnrRetries     int
+	scheduled      bool
+	timerPending   bool
+	deadline       simtime.Time
+	pausedUntil    simtime.Time
+	currentDIP     packet.IP // destination of the frame being built
+
+	// Responder (receive) side.
+	rq       []RecvWR
+	expPSN   uint32
+	msn      uint32
+	nakSent  bool
+	curRecv  *recvCtx
+	curWrite *writeCtx
+	// atomicHist caches recent atomic results keyed by PSN so a
+	// retransmitted (duplicate) atomic request is answered from history
+	// instead of being re-executed — atomics are not idempotent.
+	atomicHist map[uint32]uint64
+	atomicFIFO []uint32
+}
+
+type sendWQE struct {
+	wr                SendWR
+	assigned          bool
+	firstPSN, lastPSN uint32
+	npkts             int
+	readRecv          int // READ: response bytes scattered so far
+}
+
+type recvCtx struct {
+	wr  RecvWR
+	off int
+}
+
+type writeCtx struct {
+	mr  *MR
+	va  uint64
+	off int
+}
+
+// State returns the current QP state.
+func (qp *QP) State() State { return qp.state }
+
+// Func returns the PCI function the QP was created on.
+func (qp *QP) Func() *Func { return qp.fn }
+
+// SQLen returns the number of outstanding (unretired) send WRs.
+func (qp *QP) SQLen() int { return len(qp.sq) }
+
+// RQLen returns the number of posted receive WRs.
+func (qp *QP) RQLen() int { return len(qp.rq) }
+
+// psnDiff compares 24-bit PSNs: positive when a is ahead of b.
+func psnDiff(a, b uint32) int32 {
+	d := (a - b) & 0xffffff
+	if d >= 1<<23 {
+		return int32(d) - 1<<24
+	}
+	return int32(d)
+}
+
+// PostSend models ibv_post_send. Table 2 semantics: posting is allowed in
+// ERROR but the WR completes immediately with a flush error.
+func (qp *QP) PostSend(p *simtime.Proc, wr SendWR) error {
+	p.Sleep(qp.dev.P.VerbCost[VerbPostSend])
+	if !qp.state.CanPostSend() {
+		return fmt.Errorf("%w: post_send in %v", ErrBadState, qp.state)
+	}
+	if qp.state == StateError {
+		qp.SendCQ.post(WC{WRID: wr.WRID, Status: WCFlushErr, Op: wr.Op, QPN: qp.Num})
+		return nil
+	}
+	if len(qp.sq) >= qp.Caps.MaxSendWR {
+		return ErrQueueFull
+	}
+	if wr.Op == WRAtomicFAdd || wr.Op == WRAtomicCSwap {
+		wr.Len = 8 // atomics are always 8 bytes
+	}
+	if wr.InlineData != nil {
+		if len(wr.InlineData) > qp.dev.P.MaxInline {
+			return fmt.Errorf("rnic: inline payload of %d bytes exceeds MaxInline %d", len(wr.InlineData), qp.dev.P.MaxInline)
+		}
+		if wr.Op == WRRead {
+			return fmt.Errorf("rnic: RDMA READ cannot be inline")
+		}
+		wr.Len = len(wr.InlineData)
+		// The driver copies at post time; the caller may reuse its buffer.
+		wr.InlineData = append([]byte(nil), wr.InlineData...)
+	}
+	if qp.Type == UD && wr.Len > qp.dev.P.MTU {
+		return fmt.Errorf("rnic: UD message of %d bytes exceeds MTU %d", wr.Len, qp.dev.P.MTU)
+	}
+	qp.sq = append(qp.sq, &sendWQE{wr: wr})
+	qp.kick()
+	return nil
+}
+
+// PostRecv models ibv_post_recv (allowed in every state but RESET;
+// flushes immediately in ERROR — Table 2). QPs attached to an SRQ have no
+// private receive queue.
+func (qp *QP) PostRecv(p *simtime.Proc, wr RecvWR) error {
+	p.Sleep(qp.dev.P.VerbCost[VerbPostRecv])
+	if qp.srq != nil {
+		return fmt.Errorf("rnic: QP %d uses an SRQ; post to the SRQ instead", qp.Num)
+	}
+	if !qp.state.CanPostRecv() {
+		return fmt.Errorf("%w: post_recv in %v", ErrBadState, qp.state)
+	}
+	if qp.state == StateError {
+		qp.RecvCQ.post(WC{WRID: wr.WRID, Status: WCFlushErr, QPN: qp.Num, Recv: true})
+		return nil
+	}
+	if len(qp.rq) >= qp.Caps.MaxRecvWR {
+		return ErrQueueFull
+	}
+	qp.rq = append(qp.rq, wr)
+	return nil
+}
+
+// takeRecvWQE pops the next receive WQE from the private RQ or the SRQ.
+func (qp *QP) takeRecvWQE() (RecvWR, bool) {
+	if qp.srq != nil {
+		if len(qp.srq.rq) == 0 {
+			return RecvWR{}, false
+		}
+		wr := qp.srq.rq[0]
+		qp.srq.rq = qp.srq.rq[1:]
+		return wr, true
+	}
+	if len(qp.rq) == 0 {
+		return RecvWR{}, false
+	}
+	wr := qp.rq[0]
+	qp.rq = qp.rq[1:]
+	return wr, true
+}
+
+// hasRecvWQE reports whether a receive WQE is available.
+func (qp *QP) hasRecvWQE() bool {
+	if qp.srq != nil {
+		return len(qp.srq.rq) > 0
+	}
+	return len(qp.rq) > 0
+}
+
+// hasWork reports whether the send side has packets it may emit now.
+func (qp *QP) hasWork() bool {
+	if qp.txIdx >= len(qp.sq) {
+		return false
+	}
+	return psnDiff(qp.sndNxt, qp.sndUna) < int32(qp.dev.P.MaxInflight)
+}
+
+// busy reports whether the QP has unfinished send-side work (used by the
+// Fig. 18 reset-cost model).
+func (qp *QP) busy() bool {
+	return len(qp.sq) > 0 || psnDiff(qp.sndNxt, qp.sndUna) > 0
+}
+
+// kick schedules the QP on the device TX pipeline if it has work.
+func (qp *QP) kick() {
+	if qp.scheduled || !qp.state.canTransmit() || !qp.hasWork() {
+		return
+	}
+	qp.scheduled = true
+	qp.dev.txActive.Put(qp)
+}
+
+// kickAt re-arms the QP at a future instant (RNR backoff, rate limiting).
+func (qp *QP) kickAt(t simtime.Time) {
+	qp.dev.eng.At(t, func() { qp.kick() })
+}
+
+// clear drops all transport state (modify to RESET).
+func (qp *QP) clear() {
+	qp.sq = nil
+	qp.rq = nil
+	qp.txIdx, qp.txOff = 0, 0
+	qp.sndNxt, qp.sndUna = 0, 0
+	qp.expPSN, qp.msn = 0, 0
+	qp.retries, qp.rnrRetries = 0, 0
+	qp.curRecv, qp.curWrite = nil, nil
+	qp.atomicHist, qp.atomicFIFO = nil, nil
+	qp.nakSent = false
+	qp.deadline = 0
+}
+
+// flush completes all outstanding work requests with WR_FLUSH_ERR
+// (Table 2: "flushed with error").
+func (qp *QP) flush() {
+	for _, w := range qp.sq {
+		qp.SendCQ.post(WC{WRID: w.wr.WRID, Status: WCFlushErr, Op: w.wr.Op, QPN: qp.Num})
+	}
+	qp.sq = nil
+	qp.txIdx, qp.txOff = 0, 0
+	if qp.curRecv != nil {
+		qp.RecvCQ.post(WC{WRID: qp.curRecv.wr.WRID, Status: WCFlushErr, QPN: qp.Num, Recv: true})
+		qp.curRecv = nil
+	}
+	for _, w := range qp.rq {
+		qp.RecvCQ.post(WC{WRID: w.WRID, Status: WCFlushErr, QPN: qp.Num, Recv: true})
+	}
+	qp.rq = nil
+	qp.deadline = 0
+}
+
+// enterError moves the QP to ERROR from within the transport engine (e.g.
+// retry exhaustion), completing the head WQE with status and flushing the
+// rest. This is the hardware-initiated path of Fig. 5's dashed arrows.
+func (qp *QP) enterError(status WCStatus) {
+	if len(qp.sq) > 0 {
+		head := qp.sq[0]
+		qp.SendCQ.post(WC{WRID: head.wr.WRID, Status: status, Op: head.wr.Op, QPN: qp.Num})
+		qp.sq = qp.sq[1:]
+	}
+	qp.state = StateError
+	qp.flush()
+}
+
+// rememberAtomic records an executed atomic's result for duplicate
+// replay, bounded like a real HCA's responder resources.
+func (qp *QP) rememberAtomic(psn uint32, orig uint64) {
+	const depth = 16
+	if qp.atomicHist == nil {
+		qp.atomicHist = make(map[uint32]uint64, depth)
+	}
+	qp.atomicHist[psn] = orig
+	qp.atomicFIFO = append(qp.atomicFIFO, psn)
+	if len(qp.atomicFIFO) > depth {
+		delete(qp.atomicHist, qp.atomicFIFO[0])
+		qp.atomicFIFO = qp.atomicFIFO[1:]
+	}
+}
+
+// retire completes acknowledged WQEs up to cumulative PSN ack.
+func (qp *QP) retire(ack uint32) {
+	progress := false
+	for len(qp.sq) > 0 {
+		w := qp.sq[0]
+		if !w.assigned || psnDiff(w.lastPSN, ack) > 0 {
+			break
+		}
+		if w.wr.Op == WRRead && w.readRecv < w.wr.Len {
+			break // reads complete via response data, not acks
+		}
+		qp.completeHead(w)
+		progress = true
+	}
+	if psnDiff(ack+1, qp.sndUna) > 0 {
+		qp.sndUna = (ack + 1) & 0xffffff
+		progress = true
+	}
+	if progress {
+		qp.retries = 0
+		qp.rnrRetries = 0
+		qp.armTimer()
+		qp.kick()
+	}
+}
+
+func (qp *QP) completeHead(w *sendWQE) {
+	if !w.wr.Unsignaled {
+		qp.SendCQ.post(WC{WRID: w.wr.WRID, Status: WCSuccess, Op: w.wr.Op, QPN: qp.Num, ByteLen: w.wr.Len})
+	}
+	qp.sq = qp.sq[1:]
+	if qp.txIdx > 0 {
+		qp.txIdx--
+	} else {
+		qp.txOff = 0 // head was still being packetized; it is gone now
+	}
+}
+
+// rewind restarts transmission from PSN from (go-back-N).
+func (qp *QP) rewind(from uint32) {
+	qp.dev.Stats.Retransmits++
+	qp.retries++
+	if qp.retries > qp.dev.P.MaxRetry {
+		qp.enterError(WCRetryExceeded)
+		return
+	}
+	for i, w := range qp.sq {
+		if !w.assigned {
+			break
+		}
+		if psnDiff(w.lastPSN, from) >= 0 {
+			qp.txIdx = i
+			if w.wr.Op == WRRead {
+				qp.txOff = 0 // re-issue the read request
+				from = w.firstPSN
+			} else {
+				qp.txOff = int(psnDiff(from, w.firstPSN)) * qp.dev.P.MTU
+			}
+			qp.sndNxt = from
+			qp.armTimer()
+			qp.kick()
+			return
+		}
+	}
+	// Nothing to resend (ack raced ahead); reset to tail.
+	qp.sndNxt = qp.sndUna
+}
+
+// armTimer pushes the retransmission deadline out. A single callback chain
+// per QP tracks the moving deadline, so arming per packet is cheap.
+func (qp *QP) armTimer() {
+	if psnDiff(qp.sndNxt, qp.sndUna) <= 0 {
+		qp.deadline = 0
+		return
+	}
+	qp.deadline = qp.dev.eng.Now().Add(qp.dev.P.RetransTimeout)
+	if !qp.timerPending {
+		qp.timerPending = true
+		qp.dev.eng.After(qp.dev.P.RetransTimeout, qp.timerFired)
+	}
+}
+
+func (qp *QP) timerFired() {
+	qp.timerPending = false
+	if qp.state != StateRTS || qp.deadline == 0 || psnDiff(qp.sndNxt, qp.sndUna) <= 0 {
+		return
+	}
+	now := qp.dev.eng.Now()
+	if now < qp.deadline {
+		qp.timerPending = true
+		qp.dev.eng.At(qp.deadline, qp.timerFired)
+		return
+	}
+	qp.rewind(qp.sndUna)
+}

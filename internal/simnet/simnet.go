@@ -1,0 +1,214 @@
+// Package simnet models the physical (underlay) network of the testbed:
+// NIC ports, full-duplex links with bandwidth serialization and propagation
+// delay, and a store-and-forward learning L2 switch. Links are lossless by
+// default, matching the paper's PFC-enabled RoCEv2 fabric; tests can inject
+// drops to exercise retransmission.
+package simnet
+
+import (
+	"masq/internal/packet"
+	"masq/internal/simtime"
+)
+
+// Frame is a serialized Ethernet frame on the wire.
+type Frame []byte
+
+// DstMAC peeks at the destination MAC without a full decode.
+func (f Frame) DstMAC() packet.MAC {
+	var m packet.MAC
+	copy(m[:], f[:6])
+	return m
+}
+
+// SrcMAC peeks at the source MAC without a full decode.
+func (f Frame) SrcMAC() packet.MAC {
+	var m packet.MAC
+	copy(m[:], f[6:12])
+	return m
+}
+
+// Gbps expresses a link speed in bits per second.
+func Gbps(g float64) float64 { return g * 1e9 }
+
+// Port is a network attachment point. A device reads arriving frames from
+// RX and transmits with Send once the port is attached to a link or switch.
+type Port struct {
+	Name string
+	RX   *simtime.Queue[Frame]
+
+	tx func(Frame)
+
+	// Counters, maintained by the link layer.
+	TxBytes, RxBytes   uint64
+	TxFrames, RxFrames uint64
+}
+
+// NewPort returns an unattached port.
+func NewPort(eng *simtime.Engine, name string) *Port {
+	return &Port{Name: name, RX: simtime.NewQueue[Frame](eng)}
+}
+
+// Attached reports whether the port has been wired to a link.
+func (p *Port) Attached() bool { return p.tx != nil }
+
+// Send transmits a frame. It never blocks: the frame queues at the link and
+// is serialized at link rate. Sending on an unattached port panics — it is
+// a wiring bug, not a runtime condition.
+func (p *Port) Send(f Frame) {
+	if p.tx == nil {
+		panic("simnet: send on unattached port " + p.Name)
+	}
+	p.TxBytes += uint64(len(f))
+	p.TxFrames++
+	p.tx(f)
+}
+
+func (p *Port) deliver(f Frame) {
+	p.RxBytes += uint64(len(f))
+	p.RxFrames++
+	p.RX.Put(f)
+}
+
+// Link is a full-duplex point-to-point link. Each direction serializes
+// frames FIFO at the link bandwidth and then delivers them after the
+// propagation delay (propagation is pipelined behind serialization).
+type Link struct {
+	A, B      *Port
+	Bandwidth float64 // bits per second
+	PropDelay simtime.Duration
+
+	// Drop, when non-nil, is consulted per frame (after serialization);
+	// returning true discards the frame. Used to inject loss in tests.
+	Drop func(Frame) bool
+
+	tap *Tap
+}
+
+// Tap is a passive capture point on a link: every frame (both directions)
+// is recorded with its virtual transmission-complete time, ready for
+// packet.WritePcap.
+type Tap struct {
+	frames []TappedFrame
+}
+
+// TappedFrame is one captured frame.
+type TappedFrame struct {
+	TimeNanos int64
+	Data      []byte
+}
+
+// Frames returns the capture so far.
+func (t *Tap) Frames() []TappedFrame { return t.frames }
+
+// AttachTap starts capturing on the link and returns the tap. Frames are
+// copied, so later buffer reuse cannot corrupt the capture.
+func (l *Link) AttachTap() *Tap {
+	if l.tap == nil {
+		l.tap = &Tap{}
+	}
+	return l.tap
+}
+
+// Connect wires ports a and b with a link of the given bandwidth and
+// propagation delay and starts its pump processes.
+func Connect(eng *simtime.Engine, a, b *Port, bandwidth float64, prop simtime.Duration) *Link {
+	l := &Link{A: a, B: b, Bandwidth: bandwidth, PropDelay: prop}
+	l.pump(eng, a, b)
+	l.pump(eng, b, a)
+	return l
+}
+
+func (l *Link) pump(eng *simtime.Engine, from, to *Port) {
+	q := simtime.NewQueue[Frame](eng)
+	from.tx = q.Put
+	eng.Spawn("link:"+from.Name+"->"+to.Name, func(p *simtime.Proc) {
+		for {
+			f := q.Get(p)
+			p.Sleep(l.txTime(len(f)))
+			if l.tap != nil {
+				l.tap.frames = append(l.tap.frames, TappedFrame{
+					TimeNanos: int64(p.Now()),
+					Data:      append([]byte(nil), f...),
+				})
+			}
+			if l.Drop != nil && l.Drop(f) {
+				continue
+			}
+			frame := f
+			eng.After(l.PropDelay, func() { to.deliver(frame) })
+		}
+	})
+}
+
+func (l *Link) txTime(bytes int) simtime.Duration {
+	return simtime.Duration(float64(bytes*8) / l.Bandwidth * 1e9)
+}
+
+// Switch is a store-and-forward learning L2 switch. Each switch port is
+// connected to a peer port with a Link, so egress serialization and
+// propagation are modelled by the links themselves; the switch adds a fixed
+// per-frame forwarding latency.
+type Switch struct {
+	Name         string
+	ForwardDelay simtime.Duration
+
+	eng   *simtime.Engine
+	ports []*Port
+	fdb   map[packet.MAC]int // MAC → port index
+}
+
+// NewSwitch returns a switch with no ports.
+func NewSwitch(eng *simtime.Engine, name string, forwardDelay simtime.Duration) *Switch {
+	return &Switch{Name: name, ForwardDelay: forwardDelay, eng: eng, fdb: make(map[packet.MAC]int)}
+}
+
+// AttachPort creates a new switch port, connects it to peer with a link of
+// the given speed, and starts forwarding for it.
+func (s *Switch) AttachPort(peer *Port, bandwidth float64, prop simtime.Duration) {
+	idx := len(s.ports)
+	sp := NewPort(s.eng, s.Name+".p"+itoa(idx))
+	s.ports = append(s.ports, sp)
+	Connect(s.eng, sp, peer, bandwidth, prop)
+	s.eng.Spawn("switch:"+sp.Name, func(p *simtime.Proc) {
+		for {
+			f := sp.RX.Get(p)
+			p.Sleep(s.ForwardDelay)
+			s.forward(idx, f)
+		}
+	})
+}
+
+func (s *Switch) forward(in int, f Frame) {
+	if len(f) < 14 {
+		return // runt frame
+	}
+	s.fdb[f.SrcMAC()] = in
+	dst := f.DstMAC()
+	if dst != packet.BroadcastMAC {
+		if out, ok := s.fdb[dst]; ok {
+			if out != in {
+				s.ports[out].Send(f)
+			}
+			return
+		}
+	}
+	for i, p := range s.ports { // flood
+		if i != in {
+			p.Send(f)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,257 @@
+// Package simtime implements a deterministic discrete-event simulation
+// engine in the style of SimPy: simulated components run as cooperative
+// processes (goroutines managed by the engine), exactly one of which
+// executes at a time. Blocking primitives — Sleep, Wait, Queue.Get,
+// Resource.Acquire — hand control back to the engine, which advances the
+// virtual clock to the next scheduled wakeup.
+//
+// Virtual time is an int64 nanosecond count starting at zero. There is no
+// wall clock anywhere in the engine, so a simulation run is a pure function
+// of its inputs: the same program produces the same event order and the
+// same timestamps on every run.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Us returns a Duration of us microseconds. Fractional microseconds are
+// preserved to nanosecond resolution.
+func Us(us float64) Duration { return Duration(us * 1000) }
+
+// Ms returns a Duration of ms milliseconds.
+func Ms(ms float64) Duration { return Duration(ms * 1e6) }
+
+// Seconds returns the duration expressed in (floating-point) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros returns the duration expressed in microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis returns the duration expressed in milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3gµs", d.Micros())
+	case d < Second:
+		return fmt.Sprintf("%.4gms", d.Millis())
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled engine action: either waking a process or running an
+// inline callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func() // runs inline in the engine loop; must not block
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the set of managed processes.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventQueue
+	procs   map[*Proc]struct{}
+	current *Proc
+	turn    chan struct{}
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no processes.
+func NewEngine() *Engine {
+	return &Engine{
+		procs: make(map[*Proc]struct{}),
+		turn:  make(chan struct{}, 1),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// schedule enqueues fn to run at time at (>= now).
+func (e *Engine) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// At schedules fn to run inline at virtual time at. fn must not block; to
+// run blocking logic, spawn a process from inside fn.
+func (e *Engine) At(at Time, fn func()) { e.schedule(at, fn) }
+
+// After schedules fn to run inline d after the current time.
+func (e *Engine) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
+
+// Proc is a managed simulation process. All blocking calls take the Proc so
+// that the engine knows which goroutine is yielding.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine that owns this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process running fn, started at the current virtual time
+// (after already-scheduled events for this instant).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	e.schedule(e.now, func() {
+		go func() {
+			<-p.resume // wait for the engine to hand us the baton
+			fn(p)
+			p.done = true
+			delete(e.procs, p)
+			e.yieldToEngine(p)
+		}()
+		e.runProc(p)
+	})
+	return p
+}
+
+// runProc transfers control to p and blocks the engine loop until p yields.
+func (e *Engine) runProc(p *Proc) {
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.turn
+	e.current = nil
+}
+
+// yieldToEngine returns control from process p to the engine loop.
+func (e *Engine) yieldToEngine(p *Proc) {
+	e.turn <- struct{}{}
+}
+
+// block parks the calling process until something calls wake on it.
+// It must only be called from within p's goroutine while p is current.
+func (p *Proc) block() {
+	p.eng.yieldToEngine(p)
+	<-p.resume
+}
+
+// wake schedules p to resume at time at.
+func (e *Engine) wake(p *Proc, at Time) {
+	e.schedule(at, func() { e.runProc(p) })
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Still yield so that equal-time events interleave fairly.
+		p.eng.wake(p, p.eng.now)
+		p.block()
+		return
+	}
+	p.eng.wake(p, p.eng.now.Add(d))
+	p.block()
+}
+
+// Yield cedes the processor to other events scheduled at the current
+// instant and then continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes scheduled events in time order until the queue drains or
+// Stop is called. It returns the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= deadline and then stops,
+// leaving later events queued. It returns the virtual time when it stopped.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for !e.stopped && e.pq.Len() > 0 {
+		ev := e.pq[0]
+		if ev.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.pq)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Stop makes Run return after the current event finishes. It is safe to
+// call from inside event callbacks or processes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// PendingProcs returns the names of processes that have been spawned but
+// have not finished, sorted. Useful in tests for deadlock diagnosis.
+func (e *Engine) PendingProcs() []string {
+	var names []string
+	for p := range e.procs {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,207 @@
+package simtime
+
+// Event is a one-shot future: processes Wait on it, and a single Trigger
+// wakes them all and records a value. Once triggered the event stays
+// triggered, so later Waits return immediately. Use Queue for repeated
+// notifications.
+type Event[T any] struct {
+	eng       *Engine
+	triggered bool
+	val       T
+	waiters   []*waiter[T]
+}
+
+type waiter[T any] struct {
+	p        *Proc
+	fired    bool
+	val      T
+	timedOut bool
+}
+
+// NewEvent returns an untriggered event owned by e.
+func NewEvent[T any](e *Engine) *Event[T] {
+	return &Event[T]{eng: e}
+}
+
+// Triggered reports whether the event has fired.
+func (ev *Event[T]) Triggered() bool { return ev.triggered }
+
+// Value returns the value the event was triggered with (zero if not yet).
+func (ev *Event[T]) Value() T { return ev.val }
+
+// Trigger fires the event with val, waking all current waiters at the
+// current virtual time. Triggering an already-triggered event is a no-op.
+func (ev *Event[T]) Trigger(val T) {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	ev.val = val
+	for _, w := range ev.waiters {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		w.val = val
+		p := w.p
+		ev.eng.wake(p, ev.eng.now)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event triggers, returning the trigger value.
+func (ev *Event[T]) Wait(p *Proc) T {
+	if ev.triggered {
+		return ev.val
+	}
+	w := &waiter[T]{p: p}
+	ev.waiters = append(ev.waiters, w)
+	p.block()
+	return w.val
+}
+
+// WaitTimeout blocks p until the event triggers or d elapses. ok is false
+// on timeout.
+func (ev *Event[T]) WaitTimeout(p *Proc, d Duration) (val T, ok bool) {
+	if ev.triggered {
+		return ev.val, true
+	}
+	w := &waiter[T]{p: p}
+	ev.waiters = append(ev.waiters, w)
+	p.eng.schedule(p.eng.now.Add(d), func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		w.timedOut = true
+		p.eng.runProc(p)
+	})
+	p.block()
+	return w.val, !w.timedOut
+}
+
+// Queue is an unbounded FIFO channel between simulation processes. Put
+// never blocks; Get blocks while the queue is empty. Items are delivered in
+// insertion order and each item wakes at most one waiter.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	waiters []*waiter[T]
+}
+
+// NewQueue returns an empty queue owned by e.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{eng: e}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and, if a process is blocked in Get, hands v to the
+// longest-waiting one.
+func (q *Queue[T]) Put(v T) {
+	// Deliver directly to the first still-armed waiter, if any.
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		w.val = v
+		q.eng.wake(w.p, q.eng.now)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Get removes and returns the head item, blocking while the queue is empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v
+	}
+	w := &waiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.block()
+	return w.val
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// GetTimeout is Get with a deadline; ok is false on timeout.
+func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		return v, true
+	}
+	w := &waiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.eng.schedule(p.eng.now.Add(d), func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		w.timedOut = true
+		p.eng.runProc(p)
+	})
+	p.block()
+	return w.val, !w.timedOut
+}
+
+// Resource is a counting semaphore with FIFO admission, used to model
+// contended capacity such as NIC processing slots or CPU cores.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic("simtime: resource capacity must be >= 1")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Acquire blocks p until a unit of capacity is available and claims it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.block()
+	// Whoever released on our behalf already counted us in.
+}
+
+// Release returns a unit of capacity, waking the longest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		p := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Capacity transfers directly to the waiter; inUse is unchanged.
+		r.eng.wake(p, r.eng.now)
+		return
+	}
+	r.inUse--
+	if r.inUse < 0 {
+		panic("simtime: Release without Acquire")
+	}
+}
+
+// InUse returns the number of currently-held units.
+func (r *Resource) InUse() int { return r.inUse }

@@ -1,0 +1,175 @@
+// Package verbs defines the user-facing RDMA verbs API of the simulation —
+// the ibv_* call surface applications program against — and the Provider
+// interface each virtualization system implements behind it:
+//
+//   - Host-RDMA (internal/baselines/hostrdma): direct driver on the PF
+//   - SR-IOV (internal/baselines/sriov): passthrough driver on a VF
+//   - MasQ (internal/masq): paravirtualized control path, direct data path
+//   - FreeFlow (internal/baselines/freeflow): all verbs relayed via the FFR
+//
+// The concrete work-request, completion and state types are shared with
+// the device model (package rnic) by aliasing: they describe hardware
+// semantics that are identical no matter which driver carries the call.
+package verbs
+
+import (
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simtime"
+)
+
+// Re-exported hardware-semantics types.
+type (
+	// WC is a work completion.
+	WC = rnic.WC
+	// SendWR is a send work request.
+	SendWR = rnic.SendWR
+	// RecvWR is a receive work request.
+	RecvWR = rnic.RecvWR
+	// QPCaps sizes the work queues.
+	QPCaps = rnic.QPCaps
+	// Access holds MR permission flags.
+	Access = rnic.Access
+	// QPType selects RC or UD.
+	QPType = rnic.QPType
+	// State is a QP state.
+	State = rnic.State
+	// WCStatus is a completion status.
+	WCStatus = rnic.WCStatus
+	// AddressVector names a remote endpoint.
+	AddressVector = rnic.AddressVector
+)
+
+// Re-exported constants.
+const (
+	RC = rnic.RC
+	UD = rnic.UD
+
+	AccessLocalWrite   = rnic.AccessLocalWrite
+	AccessRemoteWrite  = rnic.AccessRemoteWrite
+	AccessRemoteRead   = rnic.AccessRemoteRead
+	AccessRemoteAtomic = rnic.AccessRemoteAtomic
+
+	WRSend        = rnic.WRSend
+	WRSendImm     = rnic.WRSendImm
+	WRWrite       = rnic.WRWrite
+	WRWriteImm    = rnic.WRWriteImm
+	WRRead        = rnic.WRRead
+	WRAtomicFAdd  = rnic.WRAtomicFAdd
+	WRAtomicCSwap = rnic.WRAtomicCSwap
+
+	WCSuccess  = rnic.WCSuccess
+	WCFlushErr = rnic.WCFlushErr
+
+	StateReset = rnic.StateReset
+	StateInit  = rnic.StateInit
+	StateRTR   = rnic.StateRTR
+	StateRTS   = rnic.StateRTS
+	StateError = rnic.StateError
+)
+
+// Attr carries modify_qp arguments at the API level. Applications name the
+// peer by GID and QP number — exactly the information exchanged over the
+// out-of-band channel in Fig. 1; the provider resolves the rest (and MasQ's
+// RConnrename may rewrite it).
+type Attr struct {
+	ToState State
+	DGID    packet.GID
+	DQPN    uint32
+	QKey    uint32
+}
+
+// ConnInfo is the connection information two peers exchange out of band
+// before connecting their QPs (step 3 in Fig. 4).
+type ConnInfo struct {
+	GID  packet.GID
+	QPN  uint32
+	RKey uint32
+	Addr uint64
+}
+
+// Provider opens device contexts for one application environment.
+type Provider interface {
+	// Name identifies the virtualization system ("host-rdma", "masq", ...).
+	Name() string
+	// Open models ibv_get_device_list + ibv_open_device.
+	Open(p *simtime.Proc) (Device, error)
+}
+
+// Device is an open device context.
+type Device interface {
+	// AllocPD models ibv_alloc_pd.
+	AllocPD(p *simtime.Proc) (PD, error)
+	// RegMR models ibv_reg_mr over [va, va+len) of the application's own
+	// address space. The provider pins and translates.
+	RegMR(p *simtime.Proc, pd PD, va uint64, length int, access Access) (MR, error)
+	// CreateCQ models ibv_create_cq.
+	CreateCQ(p *simtime.Proc, cqe int) (CQ, error)
+	// CreateQP models ibv_create_qp. To share a receive queue, set
+	// caps.SRQ = srq.Raw() for an SRQ created on the same device.
+	CreateQP(p *simtime.Proc, pd PD, send, recv CQ, typ QPType, caps QPCaps) (QP, error)
+	// CreateSRQ models ibv_create_srq: a receive-WQE pool shared by many
+	// QPs, bounding the buffer footprint of high-connection-count servers.
+	CreateSRQ(p *simtime.Proc, maxWR int) (SRQ, error)
+	// QueryGID models ibv_query_gid. For virtualized providers this is the
+	// *virtual* GID (vBond's view).
+	QueryGID(p *simtime.Proc) (packet.GID, error)
+	// Close models ibv_close_device.
+	Close(p *simtime.Proc) error
+}
+
+// SRQ is a shared receive queue handle.
+type SRQ interface {
+	// PostRecv models ibv_post_srq_recv (data path).
+	PostRecv(p *simtime.Proc, wr RecvWR) error
+	// Len returns the number of posted shared WQEs.
+	Len() int
+	// Destroy models ibv_destroy_srq.
+	Destroy(p *simtime.Proc) error
+	// Raw exposes the device object for QPCaps.SRQ.
+	Raw() *rnic.SRQ
+}
+
+// PD is a protection domain handle.
+type PD interface {
+	Handle() uint32
+}
+
+// MR is a registered memory region handle.
+type MR interface {
+	LKey() uint32
+	RKey() uint32
+	Addr() uint64
+	Len() int
+	// Dereg models ibv_dereg_mr.
+	Dereg(p *simtime.Proc) error
+}
+
+// CQ is a completion queue handle.
+type CQ interface {
+	// TryPoll models a single non-blocking ibv_poll_cq.
+	TryPoll(p *simtime.Proc) (WC, bool)
+	// Wait blocks until a completion arrives (an application busy-polling
+	// loop, without simulating each empty poll).
+	Wait(p *simtime.Proc) WC
+	// WaitTimeout is Wait with a deadline.
+	WaitTimeout(p *simtime.Proc, d simtime.Duration) (WC, bool)
+	// Destroy models ibv_destroy_cq.
+	Destroy(p *simtime.Proc) error
+}
+
+// QP is a queue-pair handle.
+type QP interface {
+	// Num returns the QP number (exchanged out of band).
+	Num() uint32
+	// Modify models ibv_modify_qp.
+	Modify(p *simtime.Proc, a Attr) error
+	// PostSend models ibv_post_send.
+	PostSend(p *simtime.Proc, wr SendWR) error
+	// PostRecv models ibv_post_recv.
+	PostRecv(p *simtime.Proc, wr RecvWR) error
+	// State reports the current state (ibv_query_qp).
+	State() State
+	// Destroy models ibv_destroy_qp.
+	Destroy(p *simtime.Proc) error
+}

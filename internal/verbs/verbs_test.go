@@ -1,0 +1,48 @@
+package verbs_test
+
+import (
+	"testing"
+
+	"masq/internal/baselines/freeflow"
+	"masq/internal/baselines/hostrdma"
+	masqcore "masq/internal/masq"
+	"masq/internal/verbs"
+)
+
+// Compile-time checks: every virtualization system implements the verbs
+// provider contract.
+var (
+	_ verbs.Provider = (*hostrdma.Provider)(nil)
+	_ verbs.Provider = (*freeflow.Provider)(nil)
+	_ verbs.Provider = (*masqcore.Frontend)(nil)
+)
+
+func TestStateAndOpReexports(t *testing.T) {
+	// The aliases must be the device-model types, not copies: a WC from
+	// the hardware layer is directly assignable at the API layer.
+	var wc verbs.WC
+	wc.Status = verbs.WCSuccess
+	if wc.Status.String() != "SUCCESS" {
+		t.Fatalf("status = %v", wc.Status)
+	}
+	if verbs.StateRTS.String() != "RTS" || verbs.StateError.String() != "ERROR" {
+		t.Fatal("state alias broken")
+	}
+	if verbs.RC.String() != "RC" || verbs.UD.String() != "UD" {
+		t.Fatal("qptype alias broken")
+	}
+}
+
+func TestAttrZeroValueIsReset(t *testing.T) {
+	var a verbs.Attr
+	if a.ToState != verbs.StateReset {
+		t.Fatal("zero Attr must target RESET")
+	}
+}
+
+func TestConnInfoFields(t *testing.T) {
+	ci := verbs.ConnInfo{QPN: 7, RKey: 9, Addr: 0x1000}
+	if ci.QPN != 7 || ci.RKey != 9 || ci.Addr != 0x1000 {
+		t.Fatal("ConnInfo fields")
+	}
+}

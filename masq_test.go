@@ -1,0 +1,117 @@
+package masq
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as a downstream user
+// would — everything below compiles and runs against package masq alone.
+
+func TestFacadeQuickstart(t *testing.T) {
+	pair, err := NewConnectedPair(DefaultConfig(), ModeMasQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello vpc")
+	var got string
+	pair.TB.Eng.Spawn("server", func(p *Proc) {
+		s := pair.Server
+		s.QP.PostRecv(p, RecvWR{WRID: 1, Addr: s.Buf, LKey: s.MR.LKey(), Len: s.Len})
+		wc := s.RCQ.Wait(p)
+		buf := make([]byte, wc.ByteLen)
+		s.Node.Read(s.Buf, buf)
+		got = string(buf)
+	})
+	pair.TB.Eng.Spawn("client", func(p *Proc) {
+		c := pair.Client
+		c.Node.Write(c.Buf, msg)
+		c.QP.PostSend(p, SendWR{WRID: 2, Op: WRSend, LocalAddr: c.Buf, LKey: c.MR.LKey(), Len: len(msg)})
+		if wc := c.SCQ.Wait(p); wc.Status != WCSuccess {
+			t.Errorf("send WC: %v", wc.Status)
+		}
+	})
+	pair.TB.Eng.Run()
+	if got != string(msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFacadeTenantPolicyTypes(t *testing.T) {
+	tb := NewTestbed(DefaultConfig())
+	tenant := tb.AddTenant(7, "acme")
+	src, ok := ParseCIDR("10.0.0.0/8")
+	if !ok {
+		t.Fatal("ParseCIDR")
+	}
+	id := tenant.Policy.AddRule(Rule{Priority: 5, Proto: ProtoRDMA, Src: src, Dst: src, Action: Allow})
+	if !tenant.Policy.Allows(ProtoRDMA, NewIP(10, 1, 1, 1), NewIP(10, 2, 2, 2)) {
+		t.Fatal("rule should allow")
+	}
+	if !tenant.Policy.RemoveRule(id) {
+		t.Fatal("RemoveRule")
+	}
+}
+
+func TestFacadePerftest(t *testing.T) {
+	pair, err := NewConnectedPair(DefaultConfig(), ModeHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := StartSendLat(pair.TB.Eng, pair.Client, pair.Server, 2, 50)
+	pair.TB.Eng.Run()
+	if avg := ev.Value().Avg; avg < Us(0.5) || avg > Us(1.2) {
+		t.Fatalf("latency = %v", avg)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 25 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	want := []string{
+		"table1", "table2", "table4", "table5",
+		"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+		"abl-rename", "abl-cache", "abl-conntrack", "abl-qos", "abl-virtio-batch", "abl-nic-cache", "abl-mtu", "abl-transport",
+	}
+	have := map[string]bool{}
+	for _, e := range exps {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if _, ok := RunExperiment("nonexistent"); ok {
+		t.Error("RunExperiment accepted a bogus id")
+	}
+}
+
+func TestFacadeMPI(t *testing.T) {
+	tb := NewTestbed(DefaultConfig())
+	tb.AddTenant(100, "hpc")
+	tb.AllowAll(100)
+	nodes, err := SpawnMPIRanks(tb, ModeMasQ, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewMPIWorld(tb, nodes, DefaultMPIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc, r *MPIRank) error {
+		out, err := r.Allreduce(p, []float64{1})
+		if err != nil {
+			return err
+		}
+		if out[0] != 4 {
+			t.Errorf("allreduce = %v", out[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
