@@ -73,13 +73,21 @@ func main() {
 	dumpMappings(tb, 100)
 	dumpMappings(tb, 200)
 	fmt.Printf("controller stats: %d queries, %d updates\n", tb.Ctrl.Stats.Queries, tb.Ctrl.Stats.Updates)
+	fmt.Printf("controller faults: %d timeouts (%d dropped replies)\n",
+		tb.Ctrl.Stats.Timeouts, tb.Ctrl.Stats.DroppedReplies)
+	fmt.Printf("controller pushes: %d sent, %d delivered, %d dropped\n",
+		tb.Ctrl.Stats.NotifySent, tb.Ctrl.Stats.NotifyDelivered, tb.Ctrl.Stats.NotifyDropped)
 
 	fmt.Println("\n=== per-host MasQ backends ===")
 	for i := range tb.Hosts {
 		be := tb.Backend(i)
 		fmt.Printf("host%d (%v):\n", i, tb.Hosts[i].IP)
-		fmt.Printf("  rename cache: %d hits, %d misses; renames applied: %d\n",
-			be.Stats.CacheHits, be.Stats.CacheMisses, be.Stats.Renames)
+		fmt.Printf("  rename cache: %d hits, %d misses, %d invalidations\n",
+			be.Stats.CacheHits, be.Stats.CacheMisses, be.Stats.Invalidations)
+		fmt.Printf("  renames applied: %d (%d recovered from stale mappings)\n",
+			be.Stats.Renames, be.Stats.StaleRenames)
+		fmt.Printf("  controller queries: %d retries, %d gave up\n",
+			be.Stats.QueryRetries, be.Stats.QueryFailures)
 		conns := be.CT.Conns()
 		sort.Slice(conns, func(a, b int) bool { return conns[a].QPN < conns[b].QPN })
 		fmt.Printf("  RCT table (%d established connections):\n", len(conns))

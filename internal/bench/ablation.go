@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"masq/internal/apps/perftest"
 	"masq/internal/cluster"
@@ -19,6 +20,7 @@ func init() {
 	register("abl-qos", "Ablation: QP grouping for QoS", ablQoS)
 	register("abl-virtio-batch", "Ablation: batched virtio control commands", ablVirtioBatch)
 	register("abl-nic-cache", "Ablation: hardware-solution on-chip cache pressure", ablNICCache)
+	register("abl-ctrl-faults", "Ablation: controller notification delay/loss on the rename control path", ablCtrlFaults)
 }
 
 // ablRename quantifies the core design choice: renaming once per
@@ -428,5 +430,124 @@ func ablTransport() *Table {
 	}
 	t.Note("RC keeps the data path at 0.2 µs/post but needs a QP per peer (QPC memory, %.2f ms setup each)", oneConn.Millis())
 	t.Note("UD reaches any peer from one QP, but every datagram WQE detours through the control path for renaming")
+	return t
+}
+
+// pctile returns the q-quantile (0..1) of a latency sample by
+// nearest-rank on a sorted copy.
+func pctile(lats []simtime.Duration, q float64) simtime.Duration {
+	s := append([]simtime.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s)-1) + 0.5)
+	return s[idx]
+}
+
+// ablCtrlFaults measures what controller eventual consistency costs the
+// RConnrename control path: with push notifications delayed or lost, a
+// client reconnecting right after its peer migrates hits a stale GID-cache
+// entry and pays stale detection plus a re-query before the rename can
+// complete. Each setting runs repeated migrate-and-reconnect rounds and
+// reports client connect-latency percentiles. (Endpoint setup takes
+// ~4.5ms of sim time after the migration, so pushes faster than that
+// still beat the reconnect to the cache.)
+func ablCtrlFaults() *Table {
+	t := &Table{
+		ID:      "abl-ctrl-faults",
+		Title:   "Controller notification delay/loss vs reconnect-after-migration latency",
+		Columns: []string{"notify delay", "drop prob", "connect p50 (µs)", "p95 (µs)", "max (µs)", "stale renames", "notif dropped"},
+	}
+	type setting struct {
+		delay simtime.Duration
+		drop  float64
+	}
+	const rounds = 12
+	for _, s := range []setting{
+		{0, 0},
+		{simtime.Us(500), 0},
+		{simtime.Ms(20), 0},
+		{0, 0.5},
+	} {
+		cfg := cluster.DefaultConfig()
+		cfg.Hosts = 3 // spare host: the server ping-pongs between 1 and 2
+		cfg.Ctrl.NotifyDelay = s.delay
+		cfg.Ctrl.NotifyDropProb = s.drop
+		cp, err := cluster.NewConnectedPair(cfg, cluster.ModeMasQ)
+		if err != nil {
+			panic(err)
+		}
+		tb := cp.TB
+		sep, cep := cp.Server, cp.Client
+		srvHost := 1
+		var lats []simtime.Duration
+		for r := 0; r < rounds; r++ {
+			// Application-assisted teardown of the previous connection.
+			td := simtime.NewEvent[error](tb.Eng)
+			oldS, oldC := sep, cep
+			tb.Eng.Spawn("teardown", func(p *simtime.Proc) {
+				if err := oldS.QP.Destroy(p); err != nil {
+					td.Trigger(err)
+					return
+				}
+				if err := oldS.MR.Dereg(p); err != nil {
+					td.Trigger(err)
+					return
+				}
+				if err := oldC.QP.Destroy(p); err != nil {
+					td.Trigger(err)
+					return
+				}
+				td.Trigger(oldC.MR.Dereg(p))
+			})
+			tb.Eng.Run()
+			if err := td.Value(); err != nil {
+				panic(err)
+			}
+			// Migrate the server to the other spare host; its vGID keeps
+			// resolving, but to a new physical GID.
+			srvHost = 3 - srvHost // 1 <-> 2
+			if err := tb.MigrateNode(cp.ServerNode, srvHost); err != nil {
+				panic(err)
+			}
+			// Reconnect immediately — before a delayed or dropped push
+			// could have fixed the client's cache. Only the client's
+			// RESET->RTS walk (where the rename happens) is timed.
+			ev := simtime.NewEvent[error](tb.Eng)
+			tb.Eng.Spawn("reconnect", func(p *simtime.Proc) {
+				var err error
+				if sep, err = cp.ServerNode.Setup(p, cluster.DefaultEndpointOpts()); err != nil {
+					ev.Trigger(err)
+					return
+				}
+				if cep, err = cp.ClientNode.Setup(p, cluster.DefaultEndpointOpts()); err != nil {
+					ev.Trigger(err)
+					return
+				}
+				if err := sep.ConnectRC(p, cep.Info()); err != nil {
+					ev.Trigger(err)
+					return
+				}
+				st := p.Now()
+				if err := cep.ConnectRC(p, sep.Info()); err != nil {
+					ev.Trigger(err)
+					return
+				}
+				lats = append(lats, p.Now().Sub(st))
+				ev.Trigger(nil)
+			})
+			tb.Eng.Run()
+			if err := ev.Value(); err != nil {
+				panic(err)
+			}
+		}
+		delayLabel := "none"
+		if s.delay > 0 {
+			delayLabel = s.delay.String()
+		}
+		t.AddRow(delayLabel, fmt.Sprintf("%.1f", s.drop),
+			us(pctile(lats, 0.50)), us(pctile(lats, 0.95)), us(pctile(lats, 1.0)),
+			tb.Backend(0).Stats.StaleRenames, tb.Ctrl.Stats.NotifyDropped)
+	}
+	t.Note("stale reconnects pay stale detection (%v) + invalidate + controller re-query on top of the warm-cache RTR", cluster.DefaultConfig().Masq.StaleDetectCost)
+	t.Note("prompt pushes (delay 0, no loss) refresh the cache before the reconnect: no stale renames, flat latency")
 	return t
 }

@@ -58,6 +58,9 @@ type Config struct {
 	Masq      masq.Params
 	FreeFlow  freeflow.Params
 	Ctrl      controller.Params
+	// CtrlFault arms the controller's fault-injection plan (unavailability
+	// windows, dropped replies) for the whole testbed run.
+	CtrlFault controller.FaultPlan
 	PropDelay simtime.Duration
 	SwitchFwd simtime.Duration
 }
@@ -114,6 +117,7 @@ func New(cfg Config) *Testbed {
 		masqMode:  masq.ModeVF,
 	}
 	tb.Fab = overlay.NewFabric(eng, cfg.Overlay)
+	tb.Ctrl.SetFaultPlan(cfg.CtrlFault)
 
 	resolveHost := func(ip packet.IP) (packet.MAC, bool) {
 		mac, ok := tb.neighbors[ip]

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"masq/internal/controller"
 	"masq/internal/mem"
 	"masq/internal/overlay"
 	"masq/internal/packet"
@@ -1128,5 +1129,211 @@ func TestTwoLevelSecurity(t *testing.T) {
 	}
 	if !sawKill {
 		t.Fatal("firewall revocation did not kill the connection")
+	}
+}
+
+// TestConnectRetriesThroughControllerOutage: the controller is unreachable
+// for the first 60ms of the run — covering the out-of-band exchange and
+// the first GID queries (a plain connect completes at ~57ms). Connection
+// establishment must ride through on query retry/backoff rather than
+// fail, and the whole timeline must be reproducible run-for-run.
+func TestConnectRetriesThroughControllerOutage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Masq.QueryRetries = 12
+	cfg.CtrlFault = controller.FaultPlan{Unavailable: []controller.Window{
+		{Start: 0, End: simtime.Time(simtime.Ms(60))},
+	}}
+	cp, err := NewConnectedPair(cfg, ModeMasQ)
+	if err != nil {
+		t.Fatalf("connect through outage: %v", err)
+	}
+	if cp.TB.Ctrl.Stats.Timeouts == 0 {
+		t.Fatal("no query timed out: the fault plan was never armed")
+	}
+	if cp.TB.Backend(0).Stats.QueryRetries == 0 {
+		t.Fatal("client backend resolved without retrying")
+	}
+	if cp.TB.Eng.Now() < simtime.Time(simtime.Ms(60)) {
+		t.Fatalf("connected at %v, inside the outage window", cp.TB.Eng.Now())
+	}
+	// Determinism: an identical config must produce the identical timeline.
+	cp2, err := NewConnectedPair(cfg, ModeMasQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.TB.Eng.Now() != cp.TB.Eng.Now() {
+		t.Fatalf("timeline not reproducible: %v vs %v", cp2.TB.Eng.Now(), cp.TB.Eng.Now())
+	}
+}
+
+// TestConnectSurvivesDroppedReplies: the controller silently eats the next
+// two query replies; backoff resends absorb the loss.
+func TestConnectSurvivesDroppedReplies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CtrlFault = controller.FaultPlan{DropReplies: 2}
+	cp, err := NewConnectedPair(cfg, ModeMasQ)
+	if err != nil {
+		t.Fatalf("connect with dropped replies: %v", err)
+	}
+	if cp.TB.Ctrl.Stats.DroppedReplies != 2 {
+		t.Fatalf("dropped replies = %d, want 2", cp.TB.Ctrl.Stats.DroppedReplies)
+	}
+	retries := cp.TB.Backend(0).Stats.QueryRetries + cp.TB.Backend(1).Stats.QueryRetries
+	if retries < 2 {
+		t.Fatalf("backends retried %d times, want >= 2", retries)
+	}
+}
+
+// TestMigrationStaleCacheRecovered: with controller push notifications
+// delayed by 500ms, a client reconnecting right after its peer migrated
+// still holds the pre-migration mapping in its GID cache. RConnrename must
+// detect the staleness, invalidate, re-query, and complete the rename
+// against the new host.
+func TestMigrationStaleCacheRecovered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hosts = 3
+	cfg.Ctrl.NotifyDelay = simtime.Ms(500) // invalidations arrive too late
+	cp, err := NewConnectedPair(cfg, ModeMasQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := cp.TB
+
+	// Application-assisted teardown, then migrate the server host1 -> host2.
+	phase2 := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("teardown", func(p *simtime.Proc) {
+		if err := cp.Server.QP.Destroy(p); err != nil {
+			phase2.Trigger(err)
+			return
+		}
+		if err := cp.Server.MR.Dereg(p); err != nil {
+			phase2.Trigger(err)
+			return
+		}
+		phase2.Trigger(cp.Client.QP.Destroy(p))
+	})
+	tb.Eng.Run()
+	if err := phase2.Value(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MigrateNode(cp.ServerNode, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconnect immediately: the client's cache still maps the server's
+	// vGID to host1. The delayed invalidation has not landed yet.
+	phase3 := simtime.NewEvent[error](tb.Eng)
+	tb.Eng.Spawn("reconnect", func(p *simtime.Proc) {
+		sep, err := cp.ServerNode.Setup(p, DefaultEndpointOpts())
+		if err != nil {
+			phase3.Trigger(err)
+			return
+		}
+		cep, err := cp.ClientNode.Setup(p, DefaultEndpointOpts())
+		if err != nil {
+			phase3.Trigger(err)
+			return
+		}
+		se, ce := Pair(tb.Eng, sep, cep, 7100)
+		if err := se.Wait(p); err != nil {
+			phase3.Trigger(err)
+			return
+		}
+		if err := ce.Wait(p); err != nil {
+			phase3.Trigger(err)
+			return
+		}
+		// Prove the data path terminates at the new host.
+		sep.QP.PostRecv(p, verbs.RecvWR{WRID: 1, Addr: sep.Buf, LKey: sep.MR.LKey(), Len: 64})
+		cp.ClientNode.Write(cep.Buf, []byte("stale-then-fresh"))
+		cep.QP.PostSend(p, verbs.SendWR{WRID: 2, Op: verbs.WRSend, LocalAddr: cep.Buf, LKey: cep.MR.LKey(), Len: 16})
+		if wc := sep.RCQ.Wait(p); wc.Status != verbs.WCSuccess {
+			phase3.Trigger(errors.New("post-migration transfer failed"))
+			return
+		}
+		phase3.Trigger(nil)
+	})
+	tb.Eng.Run()
+	if err := phase3.Value(); err != nil {
+		t.Fatalf("reconnect with stale cache: %v", err)
+	}
+	if tb.Backend(0).Stats.StaleRenames == 0 {
+		t.Fatal("client backend never flagged the stale mapping")
+	}
+	if tb.Backend(0).Stats.Invalidations == 0 {
+		t.Fatal("stale mapping was not invalidated")
+	}
+	if tb.Hosts[2].Dev.Stats.RxMsgs == 0 {
+		t.Fatal("no traffic reached the migration target host")
+	}
+}
+
+// TestVBondIPChangeWithWarmCache: the server re-addresses its vNIC while
+// the client holds a warm cache entry for the OLD vGID and the controller's
+// invalidation push is delayed. Connecting to the old vGID must fail (the
+// re-query finds no mapping), and connecting to the new vGID must succeed.
+func TestVBondIPChangeWithWarmCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ctrl.NotifyDelay = simtime.Ms(50)
+	cp, err := NewConnectedPair(cfg, ModeMasQ) // warms both GID caches
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := cp.TB
+	oldGID := cp.Server.GID
+
+	// Tenant re-addresses the server VM: vBond unregisters the old vGID
+	// and registers the new one; the client's invalidation is in flight
+	// for the next 50ms.
+	if err := cp.ServerNode.VM.VNIC.SetIP(packet.NewIP(192, 168, 1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	cp.ServerNode.VIP = packet.NewIP(192, 168, 1, 50)
+
+	done := simtime.NewEvent[error](tb.Eng)
+	var staleErr error
+	tb.Eng.Spawn("test", func(p *simtime.Proc) {
+		// A fresh client QP aimed at the OLD vGID: the warm cache entry
+		// must not let the connection through.
+		cep, err := cp.ClientNode.Setup(p, DefaultEndpointOpts())
+		if err != nil {
+			done.Trigger(err)
+			return
+		}
+		staleErr = cep.ConnectRC(p, verbs.ConnInfo{GID: oldGID, QPN: cp.Server.QP.Num()})
+
+		// Reconnect to the NEW vGID end to end.
+		sep, err := cp.ServerNode.Setup(p, DefaultEndpointOpts())
+		if err != nil {
+			done.Trigger(err)
+			return
+		}
+		cep2, err := cp.ClientNode.Setup(p, DefaultEndpointOpts())
+		if err != nil {
+			done.Trigger(err)
+			return
+		}
+		se, ce := Pair(tb.Eng, sep, cep2, 7100)
+		if err := se.Wait(p); err != nil {
+			done.Trigger(err)
+			return
+		}
+		done.Trigger(ce.Wait(p))
+	})
+	tb.Eng.Run()
+	if err := done.Value(); err != nil {
+		t.Fatal(err)
+	}
+	if staleErr == nil {
+		t.Fatal("connect to the re-addressed vGID succeeded off the stale cache")
+	}
+	if !strings.Contains(staleErr.Error(), "no mapping") {
+		t.Fatalf("stale connect error = %v, want a no-mapping failure after re-query", staleErr)
+	}
+	if tb.Backend(0).Stats.StaleRenames == 0 {
+		t.Fatal("warm-cache hit was not detected as stale")
+	}
+	if tb.Backend(0).Stats.Invalidations == 0 {
+		t.Fatal("stale cache entry was never invalidated")
 	}
 }

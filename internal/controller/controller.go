@@ -5,22 +5,91 @@
 // IPs change; RConnrename queries it — normally through its local cache —
 // while establishing connections, and can ask for a push-down of a whole
 // tenant's mappings to avoid even the first-query miss.
+//
+// Unlike the perfect RPC fabric of an early prototype, the controller here
+// behaves like a real SDN service: push notifications to backends travel a
+// per-subscriber delivery queue with configurable latency and loss (cache
+// coherence is eventually consistent), and queries can time out under an
+// injected fault plan (unavailability windows, dropped replies) so callers
+// must retry.
 package controller
 
 import (
+	"errors"
+	"math/rand"
+
 	"masq/internal/packet"
 	"masq/internal/simtime"
 )
 
-// Params model controller access costs.
+// ErrUnavailable is returned by Lookup when a query times out: the
+// controller was inside an unavailability window or the reply was lost.
+// The caller saw no answer within QueryTimeout and should back off and
+// retry.
+var ErrUnavailable = errors.New("controller: query timed out")
+
+// Params model controller access costs and notification-channel behaviour.
 type Params struct {
 	QueryRTT   simtime.Duration // remote query round trip (paper: ~100 µs)
 	UpdateCost simtime.Duration // applying a registration
+
+	// QueryTimeout is how long a querier waits for a reply before
+	// declaring the query lost (and, in the backend, backing off).
+	QueryTimeout simtime.Duration
+
+	// NotifyDelay is the controller→backend push latency: every
+	// invalidation or push-down entry spends this long in the
+	// subscriber's delivery queue before the backend applies it.
+	NotifyDelay simtime.Duration
+
+	// NotifyDropProb is the i.i.d. probability that a push notification
+	// to one subscriber is lost in flight (never delivered). Losses are
+	// drawn from a PRNG seeded with Seed, so runs are reproducible.
+	NotifyDropProb float64
+
+	// Seed seeds the notification-loss PRNG.
+	Seed int64
 }
 
-// DefaultParams returns the paper's stated costs.
+// DefaultParams returns the paper's stated costs with a reliable,
+// same-instant notification channel (the historical behaviour).
 func DefaultParams() Params {
-	return Params{QueryRTT: simtime.Us(100), UpdateCost: simtime.Us(5)}
+	return Params{
+		QueryRTT:     simtime.Us(100),
+		UpdateCost:   simtime.Us(5),
+		QueryTimeout: simtime.Ms(1),
+		Seed:         1,
+	}
+}
+
+// queryTimeout returns the configured timeout, defaulting to 10× the RTT
+// so a zero-valued Params still terminates.
+func (p Params) queryTimeout() simtime.Duration {
+	if p.QueryTimeout > 0 {
+		return p.QueryTimeout
+	}
+	return 10 * p.QueryRTT
+}
+
+// Window is a half-open interval [Start, End) of virtual time during which
+// the controller does not answer queries.
+type Window struct {
+	Start, End simtime.Time
+}
+
+// contains reports whether t falls inside the window.
+func (w Window) contains(t simtime.Time) bool { return t >= w.Start && t < w.End }
+
+// FaultPlan injects control-plane faults, driven entirely by the sim
+// clock so every run is reproducible.
+type FaultPlan struct {
+	// Unavailable lists windows during which every query times out (the
+	// controller is partitioned, overloaded, or failing over).
+	Unavailable []Window
+
+	// DropReplies makes the next N query replies vanish in flight: the
+	// query reaches the controller, but the caller times out anyway.
+	DropReplies int
 }
 
 // Mapping is the physical view of a virtual endpoint: the record
@@ -43,6 +112,30 @@ type Key struct {
 // Stats counts controller traffic.
 type Stats struct {
 	Queries, Hits, Updates, Removals uint64
+
+	// Timeouts counts queries that got no reply (window + dropped).
+	Timeouts uint64
+	// DroppedReplies counts replies lost via FaultPlan.DropReplies.
+	DroppedReplies uint64
+
+	// Notification-channel accounting.
+	NotifySent      uint64 // notifications enqueued toward subscribers
+	NotifyDropped   uint64 // lost in flight (NotifyDropProb)
+	NotifyDelivered uint64 // applied by a subscriber callback
+}
+
+// notification is one queued push toward a subscriber.
+type notification struct {
+	k       Key
+	m       Mapping
+	removed bool
+}
+
+// subscriber is one backend's delivery channel: a FIFO queue drained by a
+// dedicated DES process, so pushes arrive in order but asynchronously.
+type subscriber struct {
+	fn func(Key, Mapping, bool)
+	q  *simtime.Queue[notification]
 }
 
 // Controller is the mapping service.
@@ -52,52 +145,114 @@ type Controller struct {
 
 	eng   *simtime.Engine
 	table map[Key]Mapping
-	subs  []func(Key, Mapping, bool) // (key, mapping, removed)
+	subs  []*subscriber
+	fault FaultPlan
+	rng   *rand.Rand
 }
 
 // New returns an empty controller.
 func New(eng *simtime.Engine, p Params) *Controller {
-	return &Controller{P: p, eng: eng, table: make(map[Key]Mapping)}
-}
-
-// Register inserts or updates a mapping (vBond's notification on vGID
-// creation or change) and notifies subscribers.
-func (c *Controller) Register(k Key, m Mapping) {
-	c.Stats.Updates++
-	c.table[k] = m
-	for _, fn := range c.subs {
-		fn(k, m, false)
+	return &Controller{
+		P:     p,
+		eng:   eng,
+		table: make(map[Key]Mapping),
+		rng:   rand.New(rand.NewSource(p.Seed)),
 	}
 }
 
-// Unregister removes a mapping (VM shutdown / IP released).
+// SetFaultPlan arms (or replaces) the fault-injection plan.
+func (c *Controller) SetFaultPlan(fp FaultPlan) { c.fault = fp }
+
+// Register inserts or updates a mapping (vBond's notification on vGID
+// creation or change) and queues push notifications to subscribers.
+func (c *Controller) Register(k Key, m Mapping) {
+	c.Stats.Updates++
+	c.table[k] = m
+	c.notify(notification{k: k, m: m})
+}
+
+// Unregister removes a mapping (VM shutdown / IP released) and queues
+// invalidations to subscribers.
 func (c *Controller) Unregister(k Key) {
 	c.Stats.Removals++
 	delete(c.table, k)
-	for _, fn := range c.subs {
-		fn(k, Mapping{}, true)
+	c.notify(notification{k: k, removed: true})
+}
+
+// notify fans one event out to every subscriber's delivery queue, applying
+// the loss model per subscriber.
+func (c *Controller) notify(n notification) {
+	for _, s := range c.subs {
+		c.Stats.NotifySent++
+		if c.P.NotifyDropProb > 0 && c.rng.Float64() < c.P.NotifyDropProb {
+			c.Stats.NotifyDropped++
+			continue
+		}
+		s.q.Put(n)
 	}
 }
 
 // Subscribe registers a push-notification callback: local caches use it to
 // invalidate or pre-populate ("the controller can be configured to push
-// down the mappings in advance").
+// down the mappings in advance"). Delivery is asynchronous: each
+// subscriber owns a FIFO queue drained by a DES process that sleeps
+// NotifyDelay per notification, so a backend's cache view lags the
+// controller's table — eventually consistent, like a real SDN.
 func (c *Controller) Subscribe(fn func(k Key, m Mapping, removed bool)) {
-	c.subs = append(c.subs, fn)
+	s := &subscriber{fn: fn, q: simtime.NewQueue[notification](c.eng)}
+	c.subs = append(c.subs, s)
+	c.eng.Spawn("controller.notify", func(p *simtime.Proc) {
+		for {
+			n := s.q.Get(p)
+			if d := c.P.NotifyDelay; d > 0 {
+				p.Sleep(d)
+			}
+			s.fn(n.k, n.m, n.removed)
+			c.Stats.NotifyDelivered++
+		}
+	})
 }
 
-// Query performs a remote lookup, paying the query round trip.
+// Query performs a remote lookup, paying the query round trip. It is the
+// fault-oblivious legacy interface: a timeout surfaces as a miss. Callers
+// that must distinguish "no mapping" from "no answer" use Lookup.
 func (c *Controller) Query(p *simtime.Proc, k Key) (Mapping, bool) {
+	m, ok, _ := c.Lookup(p, k)
+	return m, ok
+}
+
+// Lookup performs one remote lookup attempt, modelling the RPC. On
+// success the caller pays QueryRTT and gets the table's answer. Under an
+// active fault — the send instant falls in an unavailability window, or
+// the fault plan eats the reply — the caller waits the full QueryTimeout
+// and gets ErrUnavailable; retrying is the caller's job.
+func (c *Controller) Lookup(p *simtime.Proc, k Key) (Mapping, bool, error) {
 	c.Stats.Queries++
+	for _, w := range c.fault.Unavailable {
+		if w.contains(p.Now()) {
+			c.Stats.Timeouts++
+			p.Sleep(c.P.queryTimeout())
+			return Mapping{}, false, ErrUnavailable
+		}
+	}
+	if c.fault.DropReplies > 0 {
+		c.fault.DropReplies--
+		c.Stats.Timeouts++
+		c.Stats.DroppedReplies++
+		p.Sleep(c.P.queryTimeout())
+		return Mapping{}, false, ErrUnavailable
+	}
 	p.Sleep(c.P.QueryRTT)
 	m, ok := c.table[k]
 	if ok {
 		c.Stats.Hits++
 	}
-	return m, ok
+	return m, ok, nil
 }
 
-// Dump returns every mapping of a tenant (push-down support).
+// Dump returns every mapping of a tenant. Backends use it to seed their
+// cache when push-down is enabled (avoiding even the first-query miss for
+// endpoints registered before the backend existed).
 func (c *Controller) Dump(vni uint32) map[Key]Mapping {
 	out := make(map[Key]Mapping)
 	for k, m := range c.table {

@@ -98,8 +98,156 @@ func TestSubscribersSeeUpdatesAndRemovals(t *testing.T) {
 	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
 	c.Register(k, mapping(packet.NewIP(172, 16, 0, 2))) // update
 	c.Unregister(k)
+	eng.Run() // delivery is asynchronous: drain the notification queues
 	if adds != 2 || removes != 1 {
 		t.Fatalf("adds=%d removes=%d", adds, removes)
+	}
+	if c.Stats.NotifySent != 3 || c.Stats.NotifyDelivered != 3 || c.Stats.NotifyDropped != 0 {
+		t.Fatalf("notify stats = %+v", c.Stats)
+	}
+}
+
+// TestNotifyDelayDefersDelivery: with a configured push latency, a
+// subscriber sees nothing until NotifyDelay has elapsed on the sim clock,
+// and deliveries stay in FIFO order.
+func TestNotifyDelayDefersDelivery(t *testing.T) {
+	eng := simtime.NewEngine()
+	p := DefaultParams()
+	p.NotifyDelay = simtime.Us(300)
+	c := New(eng, p)
+	type seen struct {
+		at      simtime.Time
+		removed bool
+	}
+	var log []seen
+	c.Subscribe(func(k Key, m Mapping, removed bool) {
+		log = append(log, seen{at: eng.Now(), removed: removed})
+	})
+	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(1, 1, 1, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.Unregister(k)
+	eng.Run()
+	if len(log) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(log))
+	}
+	if log[0].removed || !log[1].removed {
+		t.Fatal("deliveries out of order")
+	}
+	// The queue is drained serially: one delay per queued notification.
+	if log[0].at != simtime.Time(simtime.Us(300)) || log[1].at != simtime.Time(simtime.Us(600)) {
+		t.Fatalf("delivery times = %v, %v", log[0].at, log[1].at)
+	}
+}
+
+// TestNotifyDropLosesNotifications: with drop probability 1 every push is
+// lost, and the loss is visible in the stats; the mapping table itself is
+// unaffected.
+func TestNotifyDropLosesNotifications(t *testing.T) {
+	eng := simtime.NewEngine()
+	p := DefaultParams()
+	p.NotifyDropProb = 1.0
+	c := New(eng, p)
+	delivered := 0
+	c.Subscribe(func(Key, Mapping, bool) { delivered++ })
+	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(1, 1, 1, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.Unregister(k)
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered = %d, want 0", delivered)
+	}
+	if c.Stats.NotifyDropped != 2 || c.Stats.NotifySent != 2 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+// TestNotifyDropDeterministic: the loss pattern is a pure function of the
+// seed — two controllers fed the same registrations drop the same subset.
+func TestNotifyDropDeterministic(t *testing.T) {
+	run := func() []bool {
+		eng := simtime.NewEngine()
+		p := DefaultParams()
+		p.NotifyDropProb = 0.5
+		p.Seed = 42
+		c := New(eng, p)
+		got := make(map[byte]bool)
+		c.Subscribe(func(k Key, m Mapping, removed bool) { got[m.PIP[3]] = true })
+		for i := byte(1); i <= 16; i++ {
+			c.Register(Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, i))}, mapping(packet.NewIP(172, 16, 0, i)))
+		}
+		eng.Run()
+		pattern := make([]bool, 16)
+		for i := byte(1); i <= 16; i++ {
+			pattern[i-1] = got[i]
+		}
+		if c.Stats.NotifyDropped == 0 || c.Stats.NotifyDropped == 16 {
+			t.Fatalf("want a mixed drop pattern, got %d/16 dropped", c.Stats.NotifyDropped)
+		}
+		return pattern
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop pattern differs at %d: seed-for-seed reproducibility broken", i)
+		}
+	}
+}
+
+// TestLookupTimesOutInsideUnavailabilityWindow: queries sent during a
+// fault window cost the full QueryTimeout and return ErrUnavailable;
+// queries after the window succeed normally.
+func TestLookupTimesOutInsideUnavailabilityWindow(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.SetFaultPlan(FaultPlan{Unavailable: []Window{{Start: 0, End: simtime.Time(simtime.Ms(2))}}})
+	var errIn, errOut error
+	var okOut bool
+	var waited simtime.Duration
+	eng.Spawn("q", func(p *simtime.Proc) {
+		s := p.Now()
+		_, _, errIn = c.Lookup(p, k)
+		waited = p.Now().Sub(s)
+		p.Sleep(simtime.Ms(3)) // past the window
+		_, okOut, errOut = c.Lookup(p, k)
+	})
+	eng.Run()
+	if errIn != ErrUnavailable {
+		t.Fatalf("in-window err = %v, want ErrUnavailable", errIn)
+	}
+	if waited != simtime.Ms(1) {
+		t.Fatalf("in-window wait = %v, want the 1ms QueryTimeout", waited)
+	}
+	if errOut != nil || !okOut {
+		t.Fatalf("post-window lookup = %v, %v", okOut, errOut)
+	}
+	if c.Stats.Timeouts != 1 {
+		t.Fatalf("timeouts = %d", c.Stats.Timeouts)
+	}
+}
+
+// TestLookupDropReplies: the next N replies vanish; the N+1st attempt
+// succeeds.
+func TestLookupDropReplies(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.SetFaultPlan(FaultPlan{DropReplies: 2})
+	var errs []error
+	eng.Spawn("q", func(p *simtime.Proc) {
+		for i := 0; i < 3; i++ {
+			_, _, err := c.Lookup(p, k)
+			errs = append(errs, err)
+		}
+	})
+	eng.Run()
+	if errs[0] != ErrUnavailable || errs[1] != ErrUnavailable || errs[2] != nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	if c.Stats.DroppedReplies != 2 {
+		t.Fatalf("dropped replies = %d", c.Stats.DroppedReplies)
 	}
 }
 

@@ -34,6 +34,12 @@ type Backend struct {
 	Stats   struct {
 		CacheHits, CacheMisses uint64
 		Renames                uint64
+
+		// Control-plane robustness accounting.
+		QueryRetries  uint64 // controller lookups repeated after a timeout
+		QueryFailures uint64 // resolutions abandoned after the retry budget
+		StaleRenames  uint64 // establishments that hit a stale cached mapping
+		Invalidations uint64 // cache entries dropped (push or stale detection)
 	}
 }
 
@@ -53,6 +59,9 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 	}
 	ctrl.Subscribe(func(k controller.Key, m controller.Mapping, removed bool) {
 		if removed {
+			if _, ok := b.cache[k]; ok {
+				b.Stats.Invalidations++
+			}
 			delete(b.cache, k)
 			return
 		}
@@ -123,7 +132,7 @@ func (b *Backend) WireInfo(qpn uint32) (vni uint32, vip packet.IP, ok bool) {
 }
 
 // resolveGID is RConnrename's mapping lookup: local cache first, then the
-// controller.
+// controller (with retry/backoff under control-plane faults).
 func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (controller.Mapping, error) {
 	k := controller.Key{VNI: vni, VGID: vgid}
 	p.Sleep(b.P.CacheLookupCost)
@@ -132,12 +141,53 @@ func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (cont
 		return m, nil
 	}
 	b.Stats.CacheMisses++
-	m, ok := b.Ctrl.Query(p, k)
-	if !ok {
-		return controller.Mapping{}, fmt.Errorf("masq: no mapping for vGID %v in VNI %d", vgid, vni)
+	return b.lookupWithRetry(p, k)
+}
+
+// lookupWithRetry queries the controller directly (no cache read), backing
+// off exponentially while queries time out, and caches the answer.
+func (b *Backend) lookupWithRetry(p *simtime.Proc, k controller.Key) (controller.Mapping, error) {
+	attempts := b.P.QueryRetries
+	if attempts < 1 {
+		attempts = 1
 	}
-	b.cache[k] = m
-	return m, nil
+	backoff := b.P.RetryBackoff
+	for i := 1; ; i++ {
+		m, ok, err := b.Ctrl.Lookup(p, k)
+		if err == nil {
+			if !ok {
+				return controller.Mapping{}, fmt.Errorf("masq: no mapping for vGID %v in VNI %d", k.VGID, k.VNI)
+			}
+			b.cache[k] = m
+			return m, nil
+		}
+		if i >= attempts {
+			b.Stats.QueryFailures++
+			return controller.Mapping{}, fmt.Errorf("masq: resolving vGID %v in VNI %d (%d attempts): %w", k.VGID, k.VNI, i, err)
+		}
+		b.Stats.QueryRetries++
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// invalidate drops a cache entry (stale-mapping detection).
+func (b *Backend) invalidate(k controller.Key) {
+	if _, ok := b.cache[k]; ok {
+		b.Stats.Invalidations++
+		delete(b.cache, k)
+	}
+}
+
+// mappingLive reports whether the overlay still hosts (vni, vip) at the
+// physical address the mapping names. It is the DES stand-in for the
+// connection-establishment handshake actually reaching a live peer: a
+// mapping pointing at a host the endpoint has left (migration) or a vGID
+// that was retired (vBond IP churn) fails here, exactly where a real
+// connect would time out.
+func (b *Backend) mappingLive(vni uint32, vip packet.IP, m controller.Mapping) bool {
+	ep := b.Fab.Lookup(vni, vip)
+	return ep != nil && ep.HostIP == m.PIP
 }
 
 // Command types crossing the virtio ring (frontend → backend).
@@ -224,6 +274,15 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 		return nil, fmt.Errorf("masq: unknown tenant VNI %d", vni)
 	}
 	b.CT.Watch(tenant)
+	if b.P.PushDown {
+		// Seed the cache with the tenant's pre-existing mappings: the
+		// subscription only covers registrations made after the backend
+		// was created, so a late-created backend would otherwise miss
+		// every earlier endpoint until its first query.
+		for k, m := range b.Ctrl.Dump(vni) {
+			b.cache[k] = m
+		}
+	}
 
 	vbond := NewVBond(vni, vm.VNIC, b.Ctrl, b.physIdentity())
 	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn}
@@ -303,15 +362,41 @@ func (b *Backend) handle(p *simtime.Proc, cmd any) any {
 func (b *Backend) modifyQP(p *simtime.Proc, c cmdModifyQP) error {
 	a := c.attr
 	attr := rnic.Attr{ToState: a.ToState, QKey: a.QKey}
+	if a.ToState == rnic.StateRTR && c.qp.Type == rnic.RC && (a.DQPN == 0 || a.DGID.IsZero()) {
+		// A connected QP cannot reach RTR without a complete remote
+		// address; programming it half-configured would only fail later
+		// on the wire.
+		return fmt.Errorf("masq: modify_qp(RTR) on RC QP %d: malformed address vector (DGID %v, DQPN %d)",
+			c.qp.Num, a.DGID, a.DQPN)
+	}
 	if a.ToState == rnic.StateRTR && a.DQPN != 0 && !a.DGID.IsZero() {
 		dstIP, _ := a.DGID.IP()
 		id := ConnID{VNI: c.sess.vni, SrcVIP: c.sess.vbond.VIP(), DstVIP: dstIP, QPN: c.qp.Num}
 		if err := b.CT.Validate(p, id); err != nil {
 			return err
 		}
+		k := controller.Key{VNI: c.sess.vni, VGID: a.DGID}
 		m, err := b.resolveGID(p, c.sess.vni, a.DGID)
 		if err != nil {
 			return err
+		}
+		if !b.mappingLive(c.sess.vni, dstIP, m) {
+			// Establishment toward the resolved address fails: the peer
+			// moved (migration) or retired its vGID before our
+			// invalidation arrived. Pay the detection timeout, drop the
+			// stale entry, re-query the controller, and retry the rename
+			// once — this is what makes live migration + reconnect
+			// correct under delayed invalidation.
+			b.Stats.StaleRenames++
+			p.Sleep(b.P.StaleDetectCost)
+			b.invalidate(k)
+			if m, err = b.lookupWithRetry(p, k); err != nil {
+				return err
+			}
+			if !b.mappingLive(c.sess.vni, dstIP, m) {
+				b.invalidate(k)
+				return fmt.Errorf("masq: mapping for vGID %v in VNI %d is stale even after re-query", a.DGID, c.sess.vni)
+			}
 		}
 		// The rename: the application's QPC view keeps the virtual GID;
 		// the hardware sees only physical addresses.

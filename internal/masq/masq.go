@@ -50,6 +50,21 @@ type Params struct {
 	// PushDown pre-populates each backend's cache from the controller and
 	// keeps it updated, avoiding even first-query misses (Sec. 3.3.1).
 	PushDown bool
+
+	// QueryRetries bounds how many controller lookup attempts RConnrename
+	// makes while resolving a mapping before failing the verb (>= 1).
+	// Lookups only fail when the controller is unavailable or replies are
+	// lost, so retries pace recovery from control-plane faults.
+	QueryRetries int
+
+	// RetryBackoff is the wait before the second lookup attempt; it
+	// doubles on every further attempt (exponential backoff).
+	RetryBackoff simtime.Duration
+
+	// StaleDetectCost is the time to discover that connection
+	// establishment toward a stale mapping failed (the probe/retransmit
+	// timeout before the backend invalidates the entry and re-queries).
+	StaleDetectCost simtime.Duration
 }
 
 // DefaultParams returns the paper's measured costs.
@@ -61,6 +76,9 @@ func DefaultParams() Params {
 		InsertRuleCost:  simtime.Us(1.5),
 		CacheLookupCost: simtime.Us(2),
 		PushDown:        false,
+		QueryRetries:    4,
+		RetryBackoff:    simtime.Us(200),
+		StaleDetectCost: simtime.Ms(1),
 	}
 }
 

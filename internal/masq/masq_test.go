@@ -1,6 +1,7 @@
 package masq
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -180,6 +181,164 @@ func TestCacheRefreshedOnRemap(t *testing.T) {
 	}
 }
 
+// TestPushDownSeedsPreexistingMappings: a backend created AFTER tenants
+// registered their endpoints must still start with a full cache in
+// push-down mode — the subscription only covers future registrations, so
+// the cache is seeded from Controller.Dump at frontend creation.
+func TestPushDownSeedsPreexistingMappings(t *testing.T) {
+	b := newBed(t, ModeVF)
+	b.allowAll(t, 100)
+	vgid := packet.GIDFromIP(packet.NewIP(192, 168, 1, 2))
+	k := controller.Key{VNI: 100, VGID: vgid}
+	// Endpoint registered long before this host's backend exists.
+	b.ctrl.Register(k, controller.Mapping{PIP: packet.NewIP(172, 16, 0, 2)})
+	b.eng.Run() // drain notifications owed to the fixture backend
+
+	p := DefaultParams()
+	p.PushDown = true
+	be2 := NewBackend(b.host, b.ctrl, b.fab, p, ModeVF)
+	vm, err := b.host.NewVM("late-vm", 1<<30, 100, packet.NewIP(192, 168, 1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be2.NewFrontend(vm, 100); err != nil {
+		t.Fatal(err)
+	}
+	queriesBefore := b.ctrl.Stats.Queries
+	var m controller.Mapping
+	var rerr error
+	b.eng.Spawn("r", func(p *simtime.Proc) {
+		m, rerr = be2.resolveGID(p, 100, vgid)
+	})
+	b.eng.Run()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if m.PIP != packet.NewIP(172, 16, 0, 2) {
+		t.Fatalf("seeded mapping = %+v", m)
+	}
+	if be2.Stats.CacheMisses != 0 {
+		t.Fatalf("cache misses = %d, want 0 (push-down must pre-populate)", be2.Stats.CacheMisses)
+	}
+	if b.ctrl.Stats.Queries != queriesBefore {
+		t.Fatalf("resolution queried the controller (%d → %d queries)", queriesBefore, b.ctrl.Stats.Queries)
+	}
+}
+
+// TestModifyQPRejectsMalformedRTR: an RC QP moved to RTR with a missing
+// DQPN or a zero DGID must fail loudly instead of being programmed with no
+// address vector.
+func TestModifyQPRejectsMalformedRTR(t *testing.T) {
+	b, fe := frontendBed(t)
+	done := simtime.NewEvent[error](b.eng)
+	var errNoQPN, errNoGID error
+	b.eng.Spawn("rtr", func(p *simtime.Proc) {
+		dev, _ := fe.Open(p)
+		pd, _ := dev.AllocPD(p)
+		cq, _ := dev.CreateCQ(p, 8)
+		qp, _ := dev.CreateQP(p, pd, cq, cq, rnic.RC, rnic.QPCaps{MaxSendWR: 4, MaxRecvWR: 4})
+		qp.Modify(p, verbs.Attr{ToState: rnic.StateInit})
+		errNoQPN = qp.Modify(p, verbs.Attr{
+			ToState: rnic.StateRTR,
+			DGID:    packet.GIDFromIP(packet.NewIP(192, 168, 1, 2)),
+			// DQPN omitted
+		})
+		errNoGID = qp.Modify(p, verbs.Attr{ToState: rnic.StateRTR, DQPN: 7 /* DGID omitted */})
+		if qp.State() != rnic.StateInit {
+			done.Trigger(errDesc("QP left INIT despite malformed RTR"))
+			return
+		}
+		done.Trigger(nil)
+	})
+	b.eng.Run()
+	if err := done.Value(); err != nil {
+		t.Fatal(err)
+	}
+	if errNoQPN == nil || !strings.Contains(errNoQPN.Error(), "malformed") {
+		t.Errorf("RTR without DQPN: err = %v, want malformed-address-vector error", errNoQPN)
+	}
+	if errNoGID == nil || !strings.Contains(errNoGID.Error(), "malformed") {
+		t.Errorf("RTR without DGID: err = %v, want malformed-address-vector error", errNoGID)
+	}
+}
+
+// TestUDRTRWithoutRemoteStillAllowed pins the UD semantics: datagram QPs
+// name their destination per WQE, so RTR needs no address vector.
+func TestUDRTRWithoutRemoteStillAllowed(t *testing.T) {
+	b, fe := frontendBed(t)
+	done := simtime.NewEvent[error](b.eng)
+	b.eng.Spawn("ud", func(p *simtime.Proc) {
+		dev, _ := fe.Open(p)
+		pd, _ := dev.AllocPD(p)
+		cq, _ := dev.CreateCQ(p, 8)
+		qp, _ := dev.CreateQP(p, pd, cq, cq, rnic.UD, rnic.QPCaps{MaxSendWR: 4, MaxRecvWR: 4})
+		qp.Modify(p, verbs.Attr{ToState: rnic.StateInit})
+		done.Trigger(qp.Modify(p, verbs.Attr{ToState: rnic.StateRTR, QKey: 0x1234}))
+	})
+	b.eng.Run()
+	if err := done.Value(); err != nil {
+		t.Fatalf("UD RTR without remote rejected: %v", err)
+	}
+}
+
+// TestResolveGIDRetriesThroughOutage: with the controller unavailable,
+// resolveGID backs off and retries; once the window ends the lookup
+// succeeds, so the caller never sees the outage.
+func TestResolveGIDRetriesThroughOutage(t *testing.T) {
+	b := newBed(t, ModeVF)
+	vgid := packet.GIDFromIP(packet.NewIP(192, 168, 1, 2))
+	k := controller.Key{VNI: 100, VGID: vgid}
+	b.ctrl.Register(k, controller.Mapping{PIP: packet.NewIP(172, 16, 0, 2)})
+	b.eng.Run()
+	b.ctrl.SetFaultPlan(controller.FaultPlan{
+		Unavailable: []controller.Window{{Start: 0, End: simtime.Time(simtime.Ms(1))}},
+	})
+	var m controller.Mapping
+	var err error
+	b.eng.Spawn("r", func(p *simtime.Proc) {
+		m, err = b.be.resolveGID(p, 100, vgid)
+	})
+	b.eng.Run()
+	if err != nil {
+		t.Fatalf("resolve through outage failed: %v", err)
+	}
+	if m.PIP != packet.NewIP(172, 16, 0, 2) {
+		t.Fatalf("mapping = %+v", m)
+	}
+	if b.be.Stats.QueryRetries == 0 {
+		t.Fatal("no retries recorded — the outage was never hit")
+	}
+	if b.ctrl.Stats.Timeouts == 0 {
+		t.Fatal("controller saw no timeouts")
+	}
+}
+
+// TestResolveGIDFailsAfterRetryBudget: a controller that never answers
+// exhausts the retry budget and surfaces ErrUnavailable.
+func TestResolveGIDFailsAfterRetryBudget(t *testing.T) {
+	b := newBed(t, ModeVF)
+	vgid := packet.GIDFromIP(packet.NewIP(192, 168, 1, 2))
+	b.ctrl.Register(controller.Key{VNI: 100, VGID: vgid}, controller.Mapping{PIP: packet.NewIP(172, 16, 0, 2)})
+	b.eng.Run()
+	b.ctrl.SetFaultPlan(controller.FaultPlan{
+		Unavailable: []controller.Window{{Start: 0, End: simtime.Time(simtime.Second)}},
+	})
+	var err error
+	b.eng.Spawn("r", func(p *simtime.Proc) {
+		_, err = b.be.resolveGID(p, 100, vgid)
+	})
+	b.eng.Run()
+	if !errors.Is(err, controller.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable after retry budget", err)
+	}
+	if b.be.Stats.QueryFailures != 1 {
+		t.Fatalf("failures = %d", b.be.Stats.QueryFailures)
+	}
+	if b.be.Stats.QueryRetries != uint64(DefaultParams().QueryRetries-1) {
+		t.Fatalf("retries = %d, want %d", b.be.Stats.QueryRetries, DefaultParams().QueryRetries-1)
+	}
+}
+
 func TestRConntrackValidateDeny(t *testing.T) {
 	b := newBed(t, ModeVF)
 	// Tenant policy: only 10.0.1.0/24 → 10.0.2.0/24 RDMA allowed.
@@ -271,6 +430,81 @@ func TestRConntrackRuleUpdateSparesAllowedConns(t *testing.T) {
 	}
 	if ct.Stats.Resets != 0 {
 		t.Fatalf("resets = %d, want 0", ct.Stats.Resets)
+	}
+}
+
+// TestRuleEnforcementSkipsDestroyedQP: rulesChanged snapshots its victims
+// synchronously but enforces in a spawned process; a QP destroyed (and its
+// RCT entry deleted) in between must not be reset through the stale
+// pointer.
+func TestRuleEnforcementSkipsDestroyedQP(t *testing.T) {
+	b := newBed(t, ModeVF)
+	tenant := b.fab.Tenant(100)
+	all, _ := packet.ParseCIDR("0.0.0.0/0")
+	rule := tenant.Policy.AddRule(overlay.Rule{Priority: 1, Proto: overlay.ProtoAny, Src: all, Dst: all, Action: overlay.Allow})
+	params := DefaultParams()
+	params.InsertRuleCost = simtime.Us(50) // enforcement acts well after the destroy
+	ct := NewRConntrack(params, b.host.Dev)
+	ct.Watch(tenant)
+
+	dev := b.host.Dev
+	var qp *rnic.QP
+	b.eng.Spawn("race", func(p *simtime.Proc) {
+		fn := dev.PF()
+		pd := dev.AllocPD(p, fn)
+		cq := dev.CreateCQ(p, fn, 16)
+		qp = dev.CreateQP(p, fn, pd, cq, cq, rnic.RC, rnic.DefaultCaps())
+		dev.ModifyQP(p, qp, rnic.Attr{ToState: rnic.StateInit})
+		dev.ModifyQP(p, qp, rnic.Attr{ToState: rnic.StateRTR})
+		dev.ModifyQP(p, qp, rnic.Attr{ToState: rnic.StateRTS})
+		id := ConnID{VNI: 100, SrcVIP: packet.NewIP(10, 0, 0, 1), DstVIP: packet.NewIP(10, 0, 0, 2), QPN: qp.Num}
+		ct.Insert(p, id, qp)
+		// Revoke the rule (snapshot taken now, enforcement in 50µs)...
+		tenant.Policy.RemoveRule(rule)
+		// ...then destroy the QP before enforcement fires.
+		ct.Delete(p, qp.Num)
+		dev.DestroyQP(p, qp)
+	})
+	b.eng.Run()
+	if qp.State() == rnic.StateError {
+		t.Fatal("enforcement reset a destroyed QP through a stale pointer")
+	}
+	if ct.Stats.Resets != 0 {
+		t.Fatalf("resets = %d, want 0", ct.Stats.Resets)
+	}
+}
+
+// TestDeleteRemovesAllEntriesForQPN: destroy_qp must clear every RCT entry
+// the QPN owns, not just the first match found.
+func TestDeleteRemovesAllEntriesForQPN(t *testing.T) {
+	b := newBed(t, ModeVF)
+	ct := b.be.CT
+	dev := b.host.Dev
+	b.eng.Spawn("fill", func(p *simtime.Proc) {
+		fn := dev.PF()
+		pd := dev.AllocPD(p, fn)
+		cq := dev.CreateCQ(p, fn, 16)
+		qp := dev.CreateQP(p, fn, pd, cq, cq, rnic.RC, rnic.DefaultCaps())
+		other := dev.CreateQP(p, fn, pd, cq, cq, rnic.RC, rnic.DefaultCaps())
+		src := packet.NewIP(10, 0, 0, 1)
+		// The same QP was connected to two peers over its lifetime (RESET
+		// → RTR cycles), leaving two RCT entries; a third entry belongs to
+		// a different QP and must survive.
+		ct.Insert(p, ConnID{VNI: 100, SrcVIP: src, DstVIP: packet.NewIP(10, 0, 0, 2), QPN: qp.Num}, qp)
+		ct.Insert(p, ConnID{VNI: 100, SrcVIP: src, DstVIP: packet.NewIP(10, 0, 0, 3), QPN: qp.Num}, qp)
+		ct.Insert(p, ConnID{VNI: 100, SrcVIP: src, DstVIP: packet.NewIP(10, 0, 0, 4), QPN: other.Num}, other)
+		ct.Delete(p, qp.Num)
+	})
+	b.eng.Run()
+	conns := ct.Conns()
+	if len(conns) != 1 {
+		t.Fatalf("RCT table = %v, want only the other QP's entry", conns)
+	}
+	if conns[0].DstVIP != packet.NewIP(10, 0, 0, 4) {
+		t.Fatalf("survivor = %v", conns[0])
+	}
+	if ct.Stats.Deleted != 2 {
+		t.Fatalf("deleted = %d, want 2", ct.Stats.Deleted)
 	}
 }
 

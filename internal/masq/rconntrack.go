@@ -43,7 +43,8 @@ type RConntrack struct {
 	p      Params
 	dev    *rnic.Device
 	table  map[ConnID]*trackedConn
-	tenant map[uint32]*overlay.Tenant // tenants this host has seen
+	byQPN  map[uint32]map[ConnID]struct{} // QPN → table keys (O(1) delete_conn)
+	tenant map[uint32]*overlay.Tenant     // tenants this host has seen
 }
 
 // NewRConntrack returns an empty tracker bound to the host's device.
@@ -52,6 +53,7 @@ func NewRConntrack(p Params, dev *rnic.Device) *RConntrack {
 		p:      p,
 		dev:    dev,
 		table:  make(map[ConnID]*trackedConn),
+		byQPN:  make(map[uint32]map[ConnID]struct{}),
 		tenant: make(map[uint32]*overlay.Tenant),
 	}
 }
@@ -87,17 +89,36 @@ func (ct *RConntrack) Insert(p *simtime.Proc, id ConnID, qp *rnic.QP) {
 	p.Sleep(ct.p.InsertConnCost)
 	ct.Stats.Inserted++
 	ct.table[id] = &trackedConn{id: id, qp: qp}
+	set := ct.byQPN[id.QPN]
+	if set == nil {
+		set = make(map[ConnID]struct{})
+		ct.byQPN[id.QPN] = set
+	}
+	set[id] = struct{}{}
 }
 
-// Delete is delete_conn(): called from destroy_qp.
+// remove drops one entry from the table and the QPN index.
+func (ct *RConntrack) remove(id ConnID) {
+	if _, ok := ct.table[id]; !ok {
+		return
+	}
+	delete(ct.table, id)
+	ct.Stats.Deleted++
+	if set := ct.byQPN[id.QPN]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(ct.byQPN, id.QPN)
+		}
+	}
+}
+
+// Delete is delete_conn(): called from destroy_qp. The QPN index makes it
+// O(entries for this QPN), and every entry the QPN owns is removed — a QP
+// reconnected to several peers over its lifetime leaves no residue.
 func (ct *RConntrack) Delete(p *simtime.Proc, qpn uint32) {
 	p.Sleep(ct.p.DeleteConnCost)
-	for id, c := range ct.table {
-		if c.qp.Num == qpn {
-			delete(ct.table, id)
-			ct.Stats.Deleted++
-			return
-		}
+	for id := range ct.byQPN[qpn] {
+		ct.remove(id)
 	}
 }
 
@@ -127,7 +148,15 @@ func (ct *RConntrack) rulesChanged(t *overlay.Tenant) {
 	ct.dev.Engine().Spawn("rconntrack.enforce", func(p *simtime.Proc) {
 		p.Sleep(ct.p.InsertRuleCost) // insert_rule(): update the local chain
 		for _, c := range victims {
+			// Re-check table membership: the QP may have been destroyed
+			// (and its entry deleted) between the snapshot and now, in
+			// which case the stale *rnic.QP must not be touched. Each
+			// reset also takes time, so re-check before every one.
+			if cur, ok := ct.table[c.id]; !ok || cur != c {
+				continue
+			}
 			if c.qp.State() == rnic.StateError {
+				ct.remove(c.id)
 				continue
 			}
 			// reset_conn(): the dominant cost is the RNIC's modify_qp(ERR)
@@ -135,7 +164,7 @@ func (ct *RConntrack) rulesChanged(t *overlay.Tenant) {
 			if err := ct.dev.ModifyQP(p, c.qp, rnic.Attr{ToState: rnic.StateError}); err == nil {
 				ct.Stats.Resets++
 			}
-			delete(ct.table, c.id)
+			ct.remove(c.id)
 		}
 	})
 }
