@@ -20,7 +20,9 @@ func main() {
 	kill := flag.Bool("kill", true, "revoke a rule at the end to show RConntrack enforcement")
 	flag.Parse()
 
-	tb := masq.NewTestbed(masq.DefaultConfig())
+	cfg := masq.DefaultConfig()
+	cfg.Trace = true // collect per-verb layer attribution while the scenario runs
+	tb := masq.NewTestbed(cfg)
 	acme := tb.AddTenant(100, "acme")
 	globex := tb.AddTenant(200, "globex")
 	acmeRule := tb.AllowAll(100)
@@ -107,6 +109,17 @@ func main() {
 				fmt.Printf("  packet to %v, DestQP %d  =>  tenant VNI %d, VM %v\n",
 					tb.Hosts[i].IP, qpn, vni, vip)
 			}
+		}
+	}
+
+	fmt.Println("\n=== control-path trace: per-tenant-VM × per-verb layer self-times ===")
+	for _, row := range tb.Trace.Aggregate() {
+		fmt.Printf("  %-14s %-16s %-14s x%-3d %v\n", row.Actor, row.Verb, row.Layer, row.Count, row.Self)
+	}
+	if cs := tb.Trace.Counters(); len(cs) > 0 {
+		fmt.Println("trace counters:")
+		for _, c := range cs {
+			fmt.Printf("  %-28s %d\n", c.Name, c.Value)
 		}
 	}
 

@@ -31,6 +31,7 @@ func main() {
 	window := flag.Int("window", 64, "posting window (bandwidth tests)")
 	rate := flag.Float64("rate", 0, "tenant rate limit in Gbps (masq only; 0 = none)")
 	pcap := flag.String("pcap", "", "capture the underlay traffic to this pcap file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the control path to this file")
 	flag.Parse()
 
 	mode, ok := modes[*modeName]
@@ -38,7 +39,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perftest: unknown mode %q\n", *modeName)
 		os.Exit(1)
 	}
-	pair, err := masq.NewConnectedPair(masq.DefaultConfig(), mode)
+	cfg := masq.DefaultConfig()
+	cfg.Trace = *traceOut != ""
+	pair, err := masq.NewConnectedPair(cfg, mode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "perftest: %v\n", err)
 		os.Exit(1)
@@ -99,5 +102,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# captured %d frames to %s (wireshark-readable)\n", len(tap.Frames()), *pcap)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perftest: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pair.TB.Trace.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "perftest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d trace events to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			pair.TB.Trace.Events(), *traceOut)
 	}
 }

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig20", "fig21", "fig22", "fig23",
 		"abl-rename", "abl-cache", "abl-conntrack", "abl-qos",
 		"abl-virtio-batch", "abl-nic-cache", "abl-mtu", "abl-transport",
-		"abl-ctrl-faults",
+		"abl-ctrl-faults", "abl-trace-overhead",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {
@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 // and sanity-checks their structure. (The expensive ones run under
 // `go test -bench`; see the root bench_test.go.)
 func TestCheapExperimentsProduceTables(t *testing.T) {
-	for _, id := range []string{"table1", "table2", "table4", "fig8b", "fig15", "fig16", "fig18", "abl-virtio-batch", "abl-conntrack"} {
+	for _, id := range []string{"table1", "table2", "table4", "fig8b", "fig15", "fig16", "fig18", "abl-virtio-batch", "abl-conntrack", "abl-trace-overhead"} {
 		e, _ := Lookup(id)
 		tbl := e.Run()
 		if tbl.ID != id {

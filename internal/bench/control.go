@@ -8,8 +8,8 @@ import (
 	"masq/internal/packet"
 	"masq/internal/rnic"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 	"masq/internal/verbs"
-	"masq/internal/virtio"
 )
 
 func init() {
@@ -178,7 +178,12 @@ func table5() *Table {
 
 // fig15 measures the client-side connection-establishment delay and the
 // per-verb breakdown across the four systems.
-func fig15() *Table {
+func fig15() *Table { return fig15With(false) }
+
+// fig15With runs fig15 with tracing optionally enabled. The two variants
+// must produce identical tables: recording spans reads the sim clock but
+// never advances it (the determinism guard test asserts this).
+func fig15With(traceOn bool) *Table {
 	t := &Table{
 		ID:    "fig15",
 		Title: "Connection establishment: total (ms) and per-verb breakdown (µs)",
@@ -186,7 +191,9 @@ func fig15() *Table {
 			"query_gid", "qp_INIT", "qp_RTR", "qp_RTS"},
 	}
 	for _, mode := range []cluster.Mode{cluster.ModeHost, cluster.ModeFreeFlow, cluster.ModeSRIOV, cluster.ModeMasQ} {
-		tb := cluster.New(cluster.DefaultConfig())
+		cfg := cluster.DefaultConfig()
+		cfg.Trace = traceOn
+		tb := cluster.New(cfg)
 		tb.AddTenant(100, "t")
 		tb.AllowAll(100)
 		cNode, err := tb.NewNode(mode, 0, 100, packet.NewIP(192, 168, 1, 1))
@@ -271,33 +278,34 @@ func fig15() *Table {
 	return t
 }
 
-// fig16 splits each MasQ control verb's measured cost into software
-// layers: guest verbs library, virtio transport, MasQ driver
-// (frontend+backend logic), and the host RDMA driver.
-func fig16() *Table {
-	t := &Table{
-		ID:      "fig16",
-		Title:   "MasQ control-verb cost by software layer (µs and %)",
-		Columns: []string{"verb", "total", "verbs lib", "virtio", "masq driver", "rdma driver", "masq+virtio %"},
-	}
+// fig16Row is the measured per-layer attribution of one control verb.
+type fig16Row struct {
+	name  string           // display name (qp_INIT, not modify_qp_INIT)
+	total simtime.Duration // measured wall time of the verb call
+	lib   simtime.Duration // verbs-library self time
+	vio   simtime.Duration // virtio transport: kick + irq self time
+	masqd simtime.Duration // MasQ driver: frontend, ring service, backend, rename, conntrack, controller
+	rnicd simtime.Duration // host RDMA driver (RNIC firmware) self time
+	param simtime.Duration // cross-check: old parameter reconstruction of the driver share
+}
+
+// fig16Data performs the MasQ connection setup with the trace spine enabled
+// and returns each control verb's *measured* layer attribution (self times
+// from internal/trace spans). The warm-up connection that populates the
+// rename cache runs with the recorder disabled, so only the measured verbs
+// appear. The param column reproduces the pre-trace estimate — the
+// VF-factored Table 1 cost — as a cross-check.
+func fig16Data() []fig16Row {
 	cfg := cluster.DefaultConfig()
+	cfg.Trace = true
 	tb := cluster.New(cfg)
+	rec := tb.Trace
+	rec.SetEnabled(false) // setup and warm-up are not measured
 	tb.AddTenant(100, "t")
 	tb.AllowAll(100)
 	cNode, _ := tb.NewNode(cluster.ModeMasQ, 0, 100, packet.NewIP(192, 168, 1, 1))
 	sNode, _ := tb.NewNode(cluster.ModeMasQ, 1, 100, packet.NewIP(192, 168, 1, 2))
-	vf := 2.35 // control-verb multiplier on the VF
 
-	type row struct {
-		name   string
-		total  simtime.Duration
-		driver simtime.Duration // host RDMA driver share (VF-factored table cost)
-	}
-	var rows []row
-	dev := tb.Hosts[0].Dev
-	base := func(v rnic.Verb) simtime.Duration {
-		return simtime.Duration(float64(dev.VerbCost(v)) * vf)
-	}
 	tb.Eng.Spawn("fig16", func(p *simtime.Proc) {
 		d, err := cNode.Device(p)
 		if err != nil {
@@ -320,59 +328,97 @@ func fig16() *Table {
 				panic(err)
 			}
 		}
-		meas := func(name string, driverShare simtime.Duration, fn func() error) {
-			s := p.Now()
-			if err := fn(); err != nil {
+		// The measured region: each verb call below opens a trace
+		// invocation via the instrumented device; no manual timing.
+		rec.SetEnabled(true)
+		must := func(err error) {
+			if err != nil {
 				panic(err)
 			}
-			rows = append(rows, row{name, p.Now().Sub(s), driverShare})
 		}
-		meas("reg_mr", base(rnic.VerbRegMR), func() error {
-			_, e := d.RegMR(p, pd, va, 1024, verbs.AccessLocalWrite)
-			return e
-		})
-		var cq verbs.CQ
-		meas("create_cq", base(rnic.VerbCreateCQ), func() error { var e error; cq, e = d.CreateCQ(p, 200); return e })
-		var qp verbs.QP
-		meas("create_qp", base(rnic.VerbCreateQP), func() error {
-			var e error
-			qp, e = d.CreateQP(p, pd, cq, cq, verbs.RC, verbs.QPCaps{MaxSendWR: 100, MaxRecvWR: 100})
-			return e
-		})
-		meas("query_gid", dev.VerbCost(rnic.VerbQueryGID), func() error { _, e := d.QueryGID(p); return e })
-		meas("qp_INIT", base(rnic.VerbModifyQPInit), func() error {
-			return qp.Modify(p, verbs.Attr{ToState: verbs.StateInit})
-		})
-		meas("qp_RTR", base(rnic.VerbModifyQPRTR), func() error {
-			return qp.Modify(p, verbs.Attr{ToState: verbs.StateRTR, DGID: sep.GID, DQPN: sep.QP.Num()})
-		})
-		meas("qp_RTS", base(rnic.VerbModifyQPRTS), func() error {
-			return qp.Modify(p, verbs.Attr{ToState: verbs.StateRTS})
-		})
+		_, err = d.RegMR(p, pd, va, 1024, verbs.AccessLocalWrite)
+		must(err)
+		cq, err := d.CreateCQ(p, 200)
+		must(err)
+		qp, err := d.CreateQP(p, pd, cq, cq, verbs.RC, verbs.QPCaps{MaxSendWR: 100, MaxRecvWR: 100})
+		must(err)
+		_, err = d.QueryGID(p)
+		must(err)
+		must(qp.Modify(p, verbs.Attr{ToState: verbs.StateInit}))
+		must(qp.Modify(p, verbs.Attr{ToState: verbs.StateRTR, DGID: sep.GID, DQPN: sep.QP.Num()}))
+		must(qp.Modify(p, verbs.Attr{ToState: verbs.StateRTS}))
+		rec.SetEnabled(false)
 	})
 	tb.Eng.Run()
 
-	// Kick + interrupt injection are the virtio transport; the backend
-	// wakeup and MasQ's own logic count as the MasQ driver.
-	vio := virtio.DefaultParams()
-	transport := vio.KickCost + vio.IRQCost
-	for _, r := range rows {
-		lib := simtime.Duration(0)
-		vshare := transport
-		if r.name == "query_gid" {
-			vshare = 0 // answered locally by vBond
-			lib = r.total - r.driver
+	// The cross-check reconstruction the bench used before the trace spine:
+	// driver share = Table 1 cost × the VF control multiplier (query_gid is
+	// answered in-guest at PF cost). The calibration constant comes from
+	// the testbed's device parameters — its single home.
+	vf := tb.Cfg.RNIC.VFControlFactor
+	dev := tb.Hosts[0].Dev
+	base := func(v rnic.Verb) simtime.Duration {
+		return simtime.Duration(float64(dev.VerbCost(v)) * vf)
+	}
+	param := map[string]simtime.Duration{
+		rnic.VerbRegMR.String():        base(rnic.VerbRegMR),
+		rnic.VerbCreateCQ.String():     base(rnic.VerbCreateCQ),
+		rnic.VerbCreateQP.String():     base(rnic.VerbCreateQP),
+		rnic.VerbQueryGID.String():     dev.VerbCost(rnic.VerbQueryGID),
+		rnic.VerbModifyQPInit.String(): base(rnic.VerbModifyQPInit),
+		rnic.VerbModifyQPRTR.String():  base(rnic.VerbModifyQPRTR),
+		rnic.VerbModifyQPRTS.String():  base(rnic.VerbModifyQPRTS),
+	}
+	display := map[string]string{
+		rnic.VerbModifyQPInit.String(): "qp_INIT",
+		rnic.VerbModifyQPRTR.String():  "qp_RTR",
+		rnic.VerbModifyQPRTS.String():  "qp_RTS",
+	}
+
+	var rows []fig16Row
+	for _, b := range rec.Attribute() {
+		name := b.Verb
+		if d, ok := display[name]; ok {
+			name = d
 		}
-		masqShare := r.total - r.driver - vshare - lib
-		if masqShare < 0 {
-			masqShare = 0
-		}
-		pct := float64(vshare+masqShare) / float64(r.total) * 100
-		t.AddRow(r.name, us(r.total), us(lib), us(vshare), us(masqShare), us(r.driver),
-			fmt.Sprintf("%.1f", pct))
+		// The ring-service leg (backend wakeup/dequeue) belongs to the MasQ
+		// driver in the paper's taxonomy; kick + irq are virtio transport.
+		ring := b.Named["virtio/ring-service"]
+		rows = append(rows, fig16Row{
+			name:  name,
+			total: b.Total,
+			lib:   b.Layer[trace.LayerVerbs],
+			vio:   b.Layer[trace.LayerVirtio] - ring,
+			masqd: b.Layer[trace.LayerMasqFrontend] + b.Layer[trace.LayerMasqBackend] +
+				b.Layer[trace.LayerRConnrename] + b.Layer[trace.LayerRConntrack] +
+				b.Layer[trace.LayerController] + ring,
+			rnicd: b.Layer[trace.LayerRNIC],
+			param: param[b.Verb],
+		})
+	}
+	return rows
+}
+
+// fig16 splits each MasQ control verb's cost into software layers — guest
+// verbs library, virtio transport, MasQ driver (frontend+backend logic),
+// and the host RDMA driver — *measured* from internal/trace spans rather
+// than reconstructed from model parameters.
+func fig16() *Table {
+	t := &Table{
+		ID:    "fig16",
+		Title: "MasQ control-verb cost by software layer (measured, µs and %)",
+		Columns: []string{"verb", "total", "verbs lib", "virtio", "masq driver",
+			"rdma driver", "masq+virtio %", "rdma drv (param)"},
+	}
+	for _, r := range fig16Data() {
+		pct := float64(r.vio+r.masqd) / float64(r.total) * 100
+		t.AddRow(r.name, us(r.total), us(r.lib), us(r.vio), us(r.masqd), us(r.rnicd),
+			fmt.Sprintf("%.1f", pct), us(r.param))
 	}
 	t.Note("paper: >80%% of each verb's cost is the RDMA driver + user library; <20%% is MasQ")
 	t.Note("the rename cache was warmed first, as in the paper's methodology (controller excluded)")
+	t.Note("measured from trace spans; 'rdma drv (param)' is the old Table-1 × VF-factor reconstruction")
+	t.Note("query_gid is answered in-guest by vBond, so its cost appears as library time when measured")
 	return t
 }
 

@@ -23,6 +23,7 @@ import (
 	"masq/internal/rnic"
 	"masq/internal/simnet"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 	"masq/internal/verbs"
 )
 
@@ -49,20 +50,26 @@ func (m Mode) String() string {
 
 // Config parameterizes a testbed. Zero fields take the paper's defaults.
 type Config struct {
-	Hosts     int
-	HostMem   uint64
-	VMMem     uint64
-	RNIC      rnic.Params
-	Hyper     hyper.Params
-	Overlay   overlay.Params
-	Masq      masq.Params
-	FreeFlow  freeflow.Params
-	Ctrl      controller.Params
+	Hosts    int
+	HostMem  uint64
+	VMMem    uint64
+	RNIC     rnic.Params
+	Hyper    hyper.Params
+	Overlay  overlay.Params
+	Masq     masq.Params
+	FreeFlow freeflow.Params
+	Ctrl     controller.Params
 	// CtrlFault arms the controller's fault-injection plan (unavailability
 	// windows, dropped replies) for the whole testbed run.
 	CtrlFault controller.FaultPlan
 	PropDelay simtime.Duration
 	SwitchFwd simtime.Duration
+
+	// Trace enables the cross-layer span recorder: Testbed.Trace is
+	// created and threaded through every device, backend, ring and the
+	// controller, and each node's verbs device is wrapped so control verbs
+	// open invocations. Tracing never changes virtual-time behaviour.
+	Trace bool
 }
 
 // DefaultConfig mirrors the paper's Table 3 testbed: two directly
@@ -94,6 +101,8 @@ type Testbed struct {
 	// Links are the underlay links (one for a direct pair; one per host
 	// toward the ToR switch otherwise). Attach taps here to capture pcaps.
 	Links []*simnet.Link
+	// Trace is the cross-layer span recorder, non-nil iff Cfg.Trace.
+	Trace *trace.Recorder
 
 	masqMode  masq.Mode
 	routers   []*freeflow.Router // per host, lazy
@@ -118,6 +127,10 @@ func New(cfg Config) *Testbed {
 	}
 	tb.Fab = overlay.NewFabric(eng, cfg.Overlay)
 	tb.Ctrl.SetFaultPlan(cfg.CtrlFault)
+	if cfg.Trace {
+		tb.Trace = trace.New()
+		tb.Ctrl.SetRecorder(tb.Trace)
+	}
 
 	resolveHost := func(ip packet.IP) (packet.MAC, bool) {
 		mac, ok := tb.neighbors[ip]
@@ -132,6 +145,7 @@ func New(cfg Config) *Testbed {
 			Fabric: tb.Fab, ResolveHost: resolveHost,
 		})
 		tb.neighbors[ip] = mac
+		h.Dev.SetRecorder(tb.Trace)
 		tb.Hosts = append(tb.Hosts, h)
 	}
 	tb.Backends = make([]*masq.Backend, cfg.Hosts)
@@ -171,6 +185,7 @@ func (tb *Testbed) AllowAll(vni uint32) int {
 func (tb *Testbed) Backend(hostIdx int) *masq.Backend {
 	if tb.Backends[hostIdx] == nil {
 		tb.Backends[hostIdx] = masq.NewBackend(tb.Hosts[hostIdx], tb.Ctrl, tb.Fab, tb.Cfg.Masq, tb.masqMode)
+		tb.Backends[hostIdx].SetRecorder(tb.Trace)
 	}
 	return tb.Backends[hostIdx]
 }
@@ -361,7 +376,9 @@ func (n *Node) Device(p *simtime.Proc) (verbs.Device, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.dev = dev
+		// With tracing on, control verbs issued through this device open
+		// trace invocations attributed to this node (tenant + name).
+		n.dev = verbs.Instrument(dev, n.tb.Trace, fmt.Sprintf("vni%d/%s", n.vni, n.Name))
 	}
 	return n.dev, nil
 }

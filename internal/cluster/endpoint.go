@@ -8,6 +8,7 @@ import (
 	"masq/internal/overlay"
 	"masq/internal/packet"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 	"masq/internal/verbs"
 )
 
@@ -136,6 +137,8 @@ func unmarshalInfo(b []byte) (verbs.ConnInfo, error) {
 // ExchangeServer listens on port, accepts one peer, and swaps ConnInfo
 // (Fig. 1's "exchange connection information through TCP/IP socket").
 func (ep *Endpoint) ExchangeServer(p *simtime.Proc, port uint16) (verbs.ConnInfo, error) {
+	sp := ep.Node.tb.Trace.Begin(p, trace.LayerOOB, "exchange-server")
+	defer sp.End(p)
 	l, err := ep.Node.OOB.Listen(port)
 	if err != nil {
 		return verbs.ConnInfo{}, err
@@ -158,6 +161,8 @@ func (ep *Endpoint) ExchangeServer(p *simtime.Proc, port uint16) (verbs.ConnInfo
 
 // ExchangeClient dials the server and swaps ConnInfo.
 func (ep *Endpoint) ExchangeClient(p *simtime.Proc, server packet.IP, port uint16, timeout simtime.Duration) (verbs.ConnInfo, error) {
+	sp := ep.Node.tb.Trace.Begin(p, trace.LayerOOB, "exchange-client")
+	defer sp.End(p)
 	conn, err := ep.Node.OOB.Dial(p, server, port, timeout)
 	if err != nil {
 		return verbs.ConnInfo{}, err

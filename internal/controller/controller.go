@@ -20,6 +20,7 @@ import (
 
 	"masq/internal/packet"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 )
 
 // ErrUnavailable is returned by Lookup when a query times out: the
@@ -148,7 +149,12 @@ type Controller struct {
 	subs  []*subscriber
 	fault FaultPlan
 	rng   *rand.Rand
+	rec   *trace.Recorder
 }
+
+// SetRecorder attaches a trace recorder; query and notification work is
+// then recorded as controller-layer spans. A nil recorder is valid.
+func (c *Controller) SetRecorder(r *trace.Recorder) { c.rec = r }
 
 // New returns an empty controller.
 func New(eng *simtime.Engine, p Params) *Controller {
@@ -204,10 +210,12 @@ func (c *Controller) Subscribe(fn func(k Key, m Mapping, removed bool)) {
 	c.eng.Spawn("controller.notify", func(p *simtime.Proc) {
 		for {
 			n := s.q.Get(p)
+			sp := c.rec.Begin(p, trace.LayerController, "notify")
 			if d := c.P.NotifyDelay; d > 0 {
 				p.Sleep(d)
 			}
 			s.fn(n.k, n.m, n.removed)
+			sp.End(p)
 			c.Stats.NotifyDelivered++
 		}
 	})
@@ -227,6 +235,8 @@ func (c *Controller) Query(p *simtime.Proc, k Key) (Mapping, bool) {
 // the fault plan eats the reply — the caller waits the full QueryTimeout
 // and gets ErrUnavailable; retrying is the caller's job.
 func (c *Controller) Lookup(p *simtime.Proc, k Key) (Mapping, bool, error) {
+	sp := c.rec.Begin(p, trace.LayerController, "lookup")
+	defer sp.End(p)
 	c.Stats.Queries++
 	for _, w := range c.fault.Unavailable {
 		if w.contains(p.Now()) {

@@ -10,6 +10,7 @@ import (
 	"masq/internal/packet"
 	"masq/internal/rnic"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 	"masq/internal/verbs"
 	"masq/internal/virtio"
 )
@@ -27,6 +28,10 @@ type Backend struct {
 	CT   *RConntrack
 
 	VIO virtio.Params
+
+	// Rec, when set, records backend command handling, RConnrename and
+	// RConntrack work as trace spans. Nil is valid and free.
+	Rec *trace.Recorder
 
 	cache   map[controller.Key]controller.Mapping
 	tenants map[uint32]*rnic.Func // QoS grouping: tenant → VF
@@ -72,6 +77,13 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 		}
 	})
 	return b
+}
+
+// SetRecorder attaches a trace recorder to the backend and its conntrack.
+// It must be called before NewFrontend so the virtio ring picks it up.
+func (b *Backend) SetRecorder(r *trace.Recorder) {
+	b.Rec = r
+	b.CT.rec = r
 }
 
 // physIdentity is the mapping vBond registers for endpoints on this host:
@@ -135,12 +147,17 @@ func (b *Backend) WireInfo(qpn uint32) (vni uint32, vip packet.IP, ok bool) {
 // controller (with retry/backoff under control-plane faults).
 func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (controller.Mapping, error) {
 	k := controller.Key{VNI: vni, VGID: vgid}
+	sp := b.Rec.Begin(p, trace.LayerRConnrename, "cache_lookup")
 	p.Sleep(b.P.CacheLookupCost)
-	if m, ok := b.cache[k]; ok {
+	m, ok := b.cache[k]
+	sp.End(p)
+	if ok {
 		b.Stats.CacheHits++
+		b.Rec.Add("rconnrename.cache_hits", 1)
 		return m, nil
 	}
 	b.Stats.CacheMisses++
+	b.Rec.Add("rconnrename.cache_misses", 1)
 	return b.lookupWithRetry(p, k)
 }
 
@@ -166,6 +183,7 @@ func (b *Backend) lookupWithRetry(p *simtime.Proc, k controller.Key) (controller
 			return controller.Mapping{}, fmt.Errorf("masq: resolving vGID %v in VNI %d (%d attempts): %w", k.VGID, k.VNI, i, err)
 		}
 		b.Stats.QueryRetries++
+		b.Rec.Add("controller.query_retries", 1)
 		p.Sleep(backoff)
 		backoff *= 2
 	}
@@ -287,14 +305,54 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 	vbond := NewVBond(vni, vm.VNIC, b.Ctrl, b.physIdentity())
 	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn}
 	ring := virtio.NewRing(b.Host.Eng, b.VIO)
+	ring.Rec = b.Rec
 	ring.Serve("masq-backend:"+vm.Name, func(p *simtime.Proc, cmd any) any {
 		return b.handle(p, cmd)
 	})
 	return &Frontend{b: b, sess: sess, ring: ring}, nil
 }
 
+// cmdName labels a forwarded command for tracing.
+func cmdName(cmd any) string {
+	switch cmd.(type) {
+	case cmdGetDevList:
+		return "get_device_list"
+	case cmdOpenDev:
+		return "open_device"
+	case cmdCloseDev:
+		return "close_device"
+	case cmdAllocPD:
+		return "alloc_pd"
+	case cmdDeallocPD:
+		return "dealloc_pd"
+	case cmdRegMR:
+		return "reg_mr"
+	case cmdDeregMR:
+		return "dereg_mr"
+	case cmdCreateCQ:
+		return "create_cq"
+	case cmdDestroyCQ:
+		return "destroy_cq"
+	case cmdCreateSRQ:
+		return "create_srq"
+	case cmdDestroySRQ:
+		return "destroy_srq"
+	case cmdCreateQP:
+		return "create_qp"
+	case cmdDestroyQP:
+		return "destroy_qp"
+	case cmdModifyQP:
+		return "modify_qp"
+	case cmdPostUD:
+		return "post_ud"
+	}
+	return "unknown"
+}
+
 // handle executes one forwarded command on the host.
 func (b *Backend) handle(p *simtime.Proc, cmd any) any {
+	sp := b.Rec.Begin(p, trace.LayerMasqBackend, cmdName(cmd))
+	defer sp.End(p)
 	dev := b.Host.Dev
 	switch c := cmd.(type) {
 	case cmdGetDevList:
@@ -375,40 +433,51 @@ func (b *Backend) modifyQP(p *simtime.Proc, c cmdModifyQP) error {
 		if err := b.CT.Validate(p, id); err != nil {
 			return err
 		}
-		k := controller.Key{VNI: c.sess.vni, VGID: a.DGID}
-		m, err := b.resolveGID(p, c.sess.vni, a.DGID)
-		if err != nil {
+		sp := b.Rec.Begin(p, trace.LayerRConnrename, "rename")
+		err := b.renameRTR(p, c, a, attr, id, dstIP)
+		sp.End(p)
+		return err
+	}
+	return b.Host.Dev.ModifyQP(p, c.qp, attr)
+}
+
+// renameRTR resolves the virtual destination, handles stale mappings, and
+// programs the QPC with physical addressing — the RConnrename core.
+func (b *Backend) renameRTR(p *simtime.Proc, c cmdModifyQP, a verbs.Attr, attr rnic.Attr, id ConnID, dstIP packet.IP) error {
+	k := controller.Key{VNI: c.sess.vni, VGID: a.DGID}
+	m, err := b.resolveGID(p, c.sess.vni, a.DGID)
+	if err != nil {
+		return err
+	}
+	if !b.mappingLive(c.sess.vni, dstIP, m) {
+		// Establishment toward the resolved address fails: the peer
+		// moved (migration) or retired its vGID before our
+		// invalidation arrived. Pay the detection timeout, drop the
+		// stale entry, re-query the controller, and retry the rename
+		// once — this is what makes live migration + reconnect
+		// correct under delayed invalidation.
+		b.Stats.StaleRenames++
+		b.Rec.Add("rconnrename.stale", 1)
+		p.Sleep(b.P.StaleDetectCost)
+		b.invalidate(k)
+		if m, err = b.lookupWithRetry(p, k); err != nil {
 			return err
 		}
 		if !b.mappingLive(c.sess.vni, dstIP, m) {
-			// Establishment toward the resolved address fails: the peer
-			// moved (migration) or retired its vGID before our
-			// invalidation arrived. Pay the detection timeout, drop the
-			// stale entry, re-query the controller, and retry the rename
-			// once — this is what makes live migration + reconnect
-			// correct under delayed invalidation.
-			b.Stats.StaleRenames++
-			p.Sleep(b.P.StaleDetectCost)
 			b.invalidate(k)
-			if m, err = b.lookupWithRetry(p, k); err != nil {
-				return err
-			}
-			if !b.mappingLive(c.sess.vni, dstIP, m) {
-				b.invalidate(k)
-				return fmt.Errorf("masq: mapping for vGID %v in VNI %d is stale even after re-query", a.DGID, c.sess.vni)
-			}
+			return fmt.Errorf("masq: mapping for vGID %v in VNI %d is stale even after re-query", a.DGID, c.sess.vni)
 		}
-		// The rename: the application's QPC view keeps the virtual GID;
-		// the hardware sees only physical addresses.
-		b.Stats.Renames++
-		attr.AV = rnic.AddressVector{DGID: m.PGID, DIP: m.PIP, DMAC: m.PMAC, DQPN: a.DQPN}
-		if err := b.Host.Dev.ModifyQP(p, c.qp, attr); err != nil {
-			return err
-		}
-		b.CT.Insert(p, id, c.qp)
-		return nil
 	}
-	return b.Host.Dev.ModifyQP(p, c.qp, attr)
+	// The rename: the application's QPC view keeps the virtual GID;
+	// the hardware sees only physical addresses.
+	b.Stats.Renames++
+	b.Rec.Add("rconnrename.renames", 1)
+	attr.AV = rnic.AddressVector{DGID: m.PGID, DIP: m.PIP, DMAC: m.PMAC, DQPN: a.DQPN}
+	if err := b.Host.Dev.ModifyQP(p, c.qp, attr); err != nil {
+		return err
+	}
+	b.CT.Insert(p, id, c.qp)
+	return nil
 }
 
 // postUD renames and posts a datagram WQE that the frontend routed through

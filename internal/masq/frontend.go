@@ -7,6 +7,7 @@ import (
 	"masq/internal/packet"
 	"masq/internal/rnic"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 	"masq/internal/verbs"
 	"masq/internal/virtio"
 )
@@ -28,7 +29,9 @@ func (f *Frontend) VBond() *VBond { return f.sess.vbond }
 
 // call forwards one command and unwraps the response.
 func (f *Frontend) call(p *simtime.Proc, cmd any) (any, error) {
+	sp := f.b.Rec.Begin(p, trace.LayerMasqFrontend, "forward")
 	r := f.ring.Call(p, cmd).(resp)
+	sp.End(p)
 	return r.v, r.err
 }
 

@@ -7,6 +7,7 @@ import (
 	"masq/internal/packet"
 	"masq/internal/rnic"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 )
 
 // ConnID is an RCT table key: (vni, src_vip, dst_vip, qpn), exactly the
@@ -42,6 +43,7 @@ type RConntrack struct {
 
 	p      Params
 	dev    *rnic.Device
+	rec    *trace.Recorder
 	table  map[ConnID]*trackedConn
 	byQPN  map[uint32]map[ConnID]struct{} // QPN → table keys (O(1) delete_conn)
 	tenant map[uint32]*overlay.Tenant     // tenants this host has seen
@@ -73,6 +75,8 @@ func (ct *RConntrack) Watch(t *overlay.Tenant) {
 // checks the request against the tenant's security rules. Denied requests
 // never reach RConnrename, so the QPC is never configured.
 func (ct *RConntrack) Validate(p *simtime.Proc, id ConnID) error {
+	sp := ct.rec.Begin(p, trace.LayerRConntrack, "valid_conn")
+	defer sp.End(p)
 	p.Sleep(ct.p.ValidConnCost)
 	ct.Stats.Validated++
 	t := ct.tenant[id.VNI]
@@ -86,6 +90,8 @@ func (ct *RConntrack) Validate(p *simtime.Proc, id ConnID) error {
 // Insert is insert_conn(): record an established connection in the RCT
 // table.
 func (ct *RConntrack) Insert(p *simtime.Proc, id ConnID, qp *rnic.QP) {
+	sp := ct.rec.Begin(p, trace.LayerRConntrack, "insert_conn")
+	defer sp.End(p)
 	p.Sleep(ct.p.InsertConnCost)
 	ct.Stats.Inserted++
 	ct.table[id] = &trackedConn{id: id, qp: qp}
@@ -116,6 +122,8 @@ func (ct *RConntrack) remove(id ConnID) {
 // O(entries for this QPN), and every entry the QPN owns is removed — a QP
 // reconnected to several peers over its lifetime leaves no residue.
 func (ct *RConntrack) Delete(p *simtime.Proc, qpn uint32) {
+	sp := ct.rec.Begin(p, trace.LayerRConntrack, "delete_conn")
+	defer sp.End(p)
 	p.Sleep(ct.p.DeleteConnCost)
 	for id := range ct.byQPN[qpn] {
 		ct.remove(id)
@@ -161,9 +169,11 @@ func (ct *RConntrack) rulesChanged(t *overlay.Tenant) {
 			}
 			// reset_conn(): the dominant cost is the RNIC's modify_qp(ERR)
 			// (Fig. 18); it flushes outstanding work and stops the flow.
+			sp := ct.rec.Begin(p, trace.LayerRConntrack, "reset_conn")
 			if err := ct.dev.ModifyQP(p, c.qp, rnic.Attr{ToState: rnic.StateError}); err == nil {
 				ct.Stats.Resets++
 			}
+			sp.End(p)
 			ct.remove(c.id)
 		}
 	})

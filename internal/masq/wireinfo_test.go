@@ -1,0 +1,71 @@
+package masq
+
+import (
+	"testing"
+
+	"masq/internal/rnic"
+	"masq/internal/simtime"
+)
+
+// TestWireInfoLifecycle covers the Sec. 5 wire-diagnosis mapping: a live
+// QP's number resolves to its tenant (VNI, virtual IP); an unknown QPN
+// misses; and destroy_qp evicts the entry.
+func TestWireInfoLifecycle(t *testing.T) {
+	b, fe := frontendBed(t)
+	var qpn uint32
+	destroyed := simtime.NewEvent[struct{}](b.eng)
+	b.eng.Spawn("wireinfo", func(p *simtime.Proc) {
+		dev, err := fe.Open(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pd, err := dev.AllocPD(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cq, err := dev.CreateCQ(p, 32)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		qp, err := dev.CreateQP(p, pd, cq, cq, rnic.RC, rnic.QPCaps{MaxSendWR: 8, MaxRecvWR: 8})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		qpn = qp.Num()
+
+		// Hit: the live QP maps back to its overlay identity.
+		vni, vip, ok := b.be.WireInfo(qpn)
+		if !ok {
+			t.Errorf("WireInfo(%d) missed for a live QP", qpn)
+		}
+		if vni != 100 {
+			t.Errorf("WireInfo vni = %d, want 100", vni)
+		}
+		if vip != fe.sess.vbond.VIP() {
+			t.Errorf("WireInfo vip = %v, want %v", vip, fe.sess.vbond.VIP())
+		}
+
+		// Miss: a QPN this host never issued.
+		if _, _, ok := b.be.WireInfo(qpn + 1000); ok {
+			t.Errorf("WireInfo(%d) hit for an unknown QPN", qpn+1000)
+		}
+
+		if err := qp.Destroy(p); err != nil {
+			t.Error(err)
+			return
+		}
+		destroyed.Trigger(struct{}{})
+	})
+	b.eng.Run()
+	if !destroyed.Triggered() {
+		t.Fatal("lifecycle did not finish")
+	}
+	// Eviction: after destroy_qp the diagnosis table forgets the QPN.
+	if _, _, ok := b.be.WireInfo(qpn); ok {
+		t.Errorf("WireInfo(%d) still resolves after destroy_qp", qpn)
+	}
+}

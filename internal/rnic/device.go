@@ -7,6 +7,7 @@ import (
 	"masq/internal/packet"
 	"masq/internal/simnet"
 	"masq/internal/simtime"
+	"masq/internal/trace"
 )
 
 // Stats counts device activity.
@@ -47,7 +48,12 @@ type Device struct {
 	firmware *simtime.Resource
 	txActive *simtime.Queue[*QP]
 	ctxCache *lruCache
+	rec      *trace.Recorder
 }
+
+// SetRecorder attaches a trace recorder; every firmware verb execution is
+// then recorded as an rnic-layer span. A nil recorder is valid and free.
+func (d *Device) SetRecorder(r *trace.Recorder) { d.rec = r }
 
 // Func is a PCI function of the device: index 0 is the physical function,
 // higher indices are SR-IOV virtual functions.
@@ -187,6 +193,7 @@ func (d *Device) pollCost() simtime.Duration { return d.P.VerbCost[VerbPollCQ] }
 // exec charges a control verb: firmware is serialized, VFs pay the control
 // multiplier, and extra (e.g. per-page pinning) is added on top.
 func (d *Device) exec(p *simtime.Proc, v Verb, f *Func, extra simtime.Duration) {
+	sp := d.rec.Begin(p, trace.LayerRNIC, v.String())
 	d.firmware.Acquire(p)
 	cost := d.P.VerbCost[v]
 	if f != nil && f.IsVF() {
@@ -194,6 +201,7 @@ func (d *Device) exec(p *simtime.Proc, v Verb, f *Func, extra simtime.Duration) 
 	}
 	p.Sleep(cost + extra)
 	d.firmware.Release()
+	sp.End(p)
 }
 
 // VerbCost exposes the PF-side cost of a verb (for harness reporting).

@@ -1,0 +1,169 @@
+package verbs
+
+import (
+	"masq/internal/packet"
+	"masq/internal/rnic"
+	"masq/internal/simtime"
+	"masq/internal/trace"
+)
+
+// Instrument wraps a Device so every control-path verb opens a trace
+// invocation named after the rnic verb ("create_qp", "modify_qp_RTR", ...).
+// Spans recorded anywhere down the stack — virtio transport, backend
+// handlers, controller queries, RNIC firmware — roll up under that
+// invocation for per-layer attribution. Data-path calls (post_send,
+// post_recv, poll_cq) pass through untouched: they are the fast path and
+// the paper's Fig. 16 only attributes control verbs.
+//
+// With a nil recorder the device is returned as is.
+func Instrument(d Device, r *trace.Recorder, actor string) Device {
+	if r == nil {
+		return d
+	}
+	return &idev{d: d, r: r, actor: actor}
+}
+
+type idev struct {
+	d     Device
+	r     *trace.Recorder
+	actor string
+}
+
+func (i *idev) AllocPD(p *simtime.Proc) (PD, error) {
+	vc := i.r.BeginVerb(p, rnic.VerbAllocPD.String(), i.actor)
+	pd, err := i.d.AllocPD(p)
+	vc.End(p)
+	return pd, err
+}
+
+func (i *idev) RegMR(p *simtime.Proc, pd PD, va uint64, length int, access Access) (MR, error) {
+	vc := i.r.BeginVerb(p, rnic.VerbRegMR.String(), i.actor)
+	mr, err := i.d.RegMR(p, pd, va, length, access)
+	vc.End(p)
+	if mr != nil {
+		mr = &imr{MR: mr, i: i}
+	}
+	return mr, err
+}
+
+func (i *idev) CreateCQ(p *simtime.Proc, cqe int) (CQ, error) {
+	vc := i.r.BeginVerb(p, rnic.VerbCreateCQ.String(), i.actor)
+	cq, err := i.d.CreateCQ(p, cqe)
+	vc.End(p)
+	if cq != nil {
+		cq = &icq{CQ: cq, i: i}
+	}
+	return cq, err
+}
+
+func (i *idev) CreateQP(p *simtime.Proc, pd PD, send, recv CQ, typ QPType, caps QPCaps) (QP, error) {
+	// Providers type-assert the CQ handles they issued, so unwrap ours
+	// before forwarding.
+	if c, ok := send.(*icq); ok {
+		send = c.CQ
+	}
+	if c, ok := recv.(*icq); ok {
+		recv = c.CQ
+	}
+	vc := i.r.BeginVerb(p, rnic.VerbCreateQP.String(), i.actor)
+	qp, err := i.d.CreateQP(p, pd, send, recv, typ, caps)
+	vc.End(p)
+	if qp != nil {
+		qp = &iqp{QP: qp, i: i}
+	}
+	return qp, err
+}
+
+func (i *idev) CreateSRQ(p *simtime.Proc, maxWR int) (SRQ, error) {
+	vc := i.r.BeginVerb(p, rnic.VerbCreateSRQ.String(), i.actor)
+	srq, err := i.d.CreateSRQ(p, maxWR)
+	vc.End(p)
+	if srq != nil {
+		srq = &isrq{SRQ: srq, i: i}
+	}
+	return srq, err
+}
+
+func (i *idev) QueryGID(p *simtime.Proc) (packet.GID, error) {
+	vc := i.r.BeginVerb(p, rnic.VerbQueryGID.String(), i.actor)
+	gid, err := i.d.QueryGID(p)
+	vc.End(p)
+	return gid, err
+}
+
+func (i *idev) Close(p *simtime.Proc) error {
+	vc := i.r.BeginVerb(p, rnic.VerbCloseDevice.String(), i.actor)
+	err := i.d.Close(p)
+	vc.End(p)
+	return err
+}
+
+type imr struct {
+	MR
+	i *idev
+}
+
+func (m *imr) Dereg(p *simtime.Proc) error {
+	vc := m.i.r.BeginVerb(p, rnic.VerbDeregMR.String(), m.i.actor)
+	err := m.MR.Dereg(p)
+	vc.End(p)
+	return err
+}
+
+type icq struct {
+	CQ
+	i *idev
+}
+
+func (c *icq) Destroy(p *simtime.Proc) error {
+	vc := c.i.r.BeginVerb(p, rnic.VerbDestroyCQ.String(), c.i.actor)
+	err := c.CQ.Destroy(p)
+	vc.End(p)
+	return err
+}
+
+type isrq struct {
+	SRQ
+	i *idev
+}
+
+func (s *isrq) Destroy(p *simtime.Proc) error {
+	vc := s.i.r.BeginVerb(p, rnic.VerbDestroySRQ.String(), s.i.actor)
+	err := s.SRQ.Destroy(p)
+	vc.End(p)
+	return err
+}
+
+type iqp struct {
+	QP
+	i *idev
+}
+
+func modifyVerbName(s State) string {
+	switch s {
+	case StateInit:
+		return rnic.VerbModifyQPInit.String()
+	case StateRTR:
+		return rnic.VerbModifyQPRTR.String()
+	case StateRTS:
+		return rnic.VerbModifyQPRTS.String()
+	case StateError:
+		return rnic.VerbModifyQPErr.String()
+	default:
+		return "modify_qp"
+	}
+}
+
+func (q *iqp) Modify(p *simtime.Proc, a Attr) error {
+	vc := q.i.r.BeginVerb(p, modifyVerbName(a.ToState), q.i.actor)
+	err := q.QP.Modify(p, a)
+	vc.End(p)
+	return err
+}
+
+func (q *iqp) Destroy(p *simtime.Proc) error {
+	vc := q.i.r.BeginVerb(p, rnic.VerbDestroyQP.String(), q.i.actor)
+	err := q.QP.Destroy(p)
+	vc.End(p)
+	return err
+}

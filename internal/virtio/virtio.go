@@ -10,6 +10,7 @@ package virtio
 
 import (
 	"masq/internal/simtime"
+	"masq/internal/trace"
 )
 
 // Params are the per-leg costs of a virtqueue round trip.
@@ -31,15 +32,22 @@ func DefaultParams() Params {
 // RTT is the total round-trip overhead excluding handler work.
 func (p Params) RTT() simtime.Duration { return p.KickCost + p.HostProc + p.IRQCost }
 
-// call is one in-flight batch of commands on the ring.
+// call is one in-flight batch of commands on the ring. inv carries the
+// guest's active trace invocation across the proc hop so the host-side
+// spans attribute to the right verb call under concurrent setups.
 type call struct {
 	cmds []any
 	done *simtime.Event[[]any]
+	inv  int
 }
 
 // Ring is an RPC-style virtqueue pair (request + response).
 type Ring struct {
 	P Params
+
+	// Rec, when set, records the three transport legs of each round trip
+	// as virtio-layer spans ("kick", "ring-service", "irq"). Nil is free.
+	Rec *trace.Recorder
 
 	eng  *simtime.Engine
 	reqs *simtime.Queue[*call]
@@ -60,8 +68,10 @@ func (r *Ring) Call(p *simtime.Proc, cmd any) any {
 // interrupt (the virtio batching ablation). The backend handler still runs
 // once per command.
 func (r *Ring) CallBatch(p *simtime.Proc, cmds []any) []any {
+	sp := r.Rec.Begin(p, trace.LayerVirtio, "kick")
 	p.Sleep(r.P.KickCost)
-	c := &call{cmds: cmds, done: simtime.NewEvent[[]any](r.eng)}
+	sp.End(p)
+	c := &call{cmds: cmds, done: simtime.NewEvent[[]any](r.eng), inv: r.Rec.CurrentInv(p)}
 	r.reqs.Put(c)
 	return c.done.Wait(p)
 }
@@ -73,12 +83,19 @@ func (r *Ring) Serve(name string, handler func(p *simtime.Proc, cmd any) any) {
 	r.eng.Spawn(name, func(p *simtime.Proc) {
 		for {
 			c := r.reqs.Get(p)
+			r.Rec.AdoptInv(p, c.inv)
+			sp := r.Rec.Begin(p, trace.LayerVirtio, "ring-service")
 			p.Sleep(r.P.HostProc)
+			sp.End(p)
 			resp := make([]any, len(c.cmds))
 			for i, cmd := range c.cmds {
 				resp[i] = handler(p, cmd)
 			}
 			done := c.done
+			// The IRQ leg runs as a scheduled callback, not a Proc, so it
+			// is recorded as a pre-delimited interval.
+			r.Rec.Interval(p, trace.LayerVirtio, "irq", p.Now(), p.Now().Add(r.P.IRQCost))
+			r.Rec.ReleaseInv(p)
 			r.eng.After(r.P.IRQCost, func() { done.Trigger(resp) })
 		}
 	})
