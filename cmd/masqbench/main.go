@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,9 +25,56 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "", "comma-separated experiment ids to run")
 	all := flag.Bool("all", false, "run every experiment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
+	simbench := flag.String("simbench", "", "measure the simulation core and write the report to `file` (e.g. BENCH_simcore.json)")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "masqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "masqbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "masqbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "masqbench: %v\n", err)
+			}
+		}()
+	}
+
 	switch {
+	case *simbench != "":
+		rep := bench.SimCoreBench()
+		f, err := os.Create(*simbench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "masqbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "masqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("simulation core: %.0f events/sec end-to-end (%d events in %.2fs); report → %s\n",
+			rep.EndToEnd.EventsPerSec, rep.EndToEnd.Events, rep.EndToEnd.WallSeconds, *simbench)
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Paper)

@@ -205,12 +205,32 @@ func StartSendBW(eng *simtime.Engine, client, server *cluster.Endpoint, size, it
 }
 
 // StartWriteBW runs ib_write_bw: one-sided writes, no server involvement.
+//
+// When the client's provider exposes the callback-style verbs capabilities
+// (AsyncCQ + AsyncQP — direct-mapped rings, no relay process), the loop runs
+// as a timer-driven state machine on the engine's callback fast path: no
+// goroutine, no channel handoff per message. The state machine replays the
+// process loop's schedule calls one for one (post charge ↔ PostSend's
+// leading Sleep, OnComplete ↔ the parked Wait, the poll charge ↔ Wait's
+// trailing Sleep), so both styles produce bit-identical virtual time.
 func StartWriteBW(eng *simtime.Engine, client, server *cluster.Endpoint, size, iters, window int) *simtime.Event[ThroughputResult] {
 	done := simtime.NewEvent[ThroughputResult](eng)
 	if window <= 0 {
 		window = 64
 	}
 	peer := server.Info()
+	if acq, ok := client.SCQ.(verbs.AsyncCQ); ok {
+		if aqp, ok := client.QP.(verbs.AsyncQP); ok {
+			r := &writeBWRun{
+				eng: eng, c: client, acq: acq, aqp: aqp, peer: peer,
+				size: size, iters: iters, window: window, done: done,
+			}
+			r.timer = eng.NewTimer(r.fired)
+			r.onWC = r.completionArrived
+			eng.At(eng.Now(), r.begin) // one event, like Spawn's starter
+			return done
+		}
+	}
 	eng.Spawn("write_bw.client", func(p *simtime.Proc) {
 		c := client
 		start := p.Now()
@@ -238,6 +258,99 @@ func StartWriteBW(eng *simtime.Engine, client, server *cluster.Endpoint, size, i
 		done.Trigger(ThroughputResult{Msgs: iters, Bytes: int64(iters) * int64(size), Elapsed: p.Now().Sub(start)})
 	})
 	return done
+}
+
+// writeBWRun is the callback-style ib_write_bw client. One intrusive timer
+// carries both verb-cost charges; charging says which one is pending.
+type writeBWRun struct {
+	eng  *simtime.Engine
+	c    *cluster.Endpoint
+	acq  verbs.AsyncCQ
+	aqp  verbs.AsyncQP
+	peer verbs.ConnInfo
+
+	size, iters, window int
+	posted, completed   int
+	start               simtime.Time
+
+	timer    *simtime.Timer
+	charging int          // what the pending timer firing pays for
+	wr       verbs.SendWR // WR whose post cost is being charged
+	wc       verbs.WC     // completion whose poll cost is being charged
+	onWC     func(verbs.WC)
+	done     *simtime.Event[ThroughputResult]
+}
+
+const (
+	chargePost = iota // timer is paying PostSendCost; post r.wr when it fires
+	chargePoll        // timer is paying PollCost; consume r.wc when it fires
+)
+
+func (r *writeBWRun) begin() {
+	r.start = r.eng.Now()
+	if r.posted < r.window && r.posted < r.iters {
+		r.chargePostCost()
+		return
+	}
+	r.advance()
+}
+
+// chargePostCost builds the next WR (as the process loop does before
+// calling PostSend) and schedules its verb-cost charge.
+func (r *writeBWRun) chargePostCost() {
+	r.wr = verbs.SendWR{
+		WRID: uint64(r.posted), Op: verbs.WRWrite,
+		LocalAddr: r.c.Buf, LKey: r.c.MR.LKey(), Len: r.size,
+		RemoteAddr: r.peer.Addr, RKey: r.peer.RKey,
+	}
+	r.charging = chargePost
+	r.timer.ScheduleAfter(r.aqp.PostSendCost())
+}
+
+func (r *writeBWRun) fired() {
+	if r.charging == chargePost {
+		r.aqp.PostSendAsync(r.wr) // errors ignored, as in the process loop
+		r.posted++
+		if r.posted < r.window && r.posted < r.iters {
+			r.chargePostCost() // still filling the initial window
+			return
+		}
+		r.advance()
+		return
+	}
+	// Poll cost paid: the Wait completes.
+	if r.wc.Status != verbs.WCSuccess {
+		return // abandon the run, as the process loop does
+	}
+	r.completed++
+	if r.posted < r.iters {
+		r.chargePostCost()
+		return
+	}
+	r.advance()
+}
+
+// advance is the head of the completion loop: finish, or wait for the next
+// completion (inline if one is buffered, via OnComplete otherwise).
+func (r *writeBWRun) advance() {
+	if r.completed >= r.iters {
+		r.done.Trigger(ThroughputResult{
+			Msgs: r.iters, Bytes: int64(r.iters) * int64(r.size),
+			Elapsed: r.eng.Now().Sub(r.start),
+		})
+		return
+	}
+	if wc, ok := r.acq.TryGet(); ok {
+		r.completionArrived(wc)
+		return
+	}
+	r.acq.OnComplete(r.onWC)
+}
+
+func (r *writeBWRun) completionArrived(wc verbs.WC) {
+	r.wc = wc
+	r.charging = chargePoll
+	r.timer.ScheduleAfter(r.acq.PollCost())
 }
 
 // StartTimedWriteBW streams writes for a fixed duration and reports the

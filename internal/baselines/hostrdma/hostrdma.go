@@ -113,6 +113,12 @@ func (c cq) Destroy(p *simtime.Proc) error {
 	return nil
 }
 
+// Host userspace polls the RNIC's CQ ring directly, so the callback-style
+// capability (verbs.AsyncCQ) is a pass-through.
+func (c cq) OnComplete(fn func(verbs.WC)) { c.cq.OnComplete(fn) }
+func (c cq) TryGet() (verbs.WC, bool)     { return c.cq.TryGet() }
+func (c cq) PollCost() simtime.Duration   { return c.cq.PollCost() }
+
 func (d *device) CreateCQ(p *simtime.Proc, cqe int) (verbs.CQ, error) {
 	return cq{d: d, cq: d.cfg.Dev.CreateCQ(p, d.cfg.Fn, cqe)}, nil
 }
@@ -139,6 +145,11 @@ func (q qp) Modify(p *simtime.Proc, a verbs.Attr) error {
 
 func (q qp) PostSend(p *simtime.Proc, wr verbs.SendWR) error { return q.qp.PostSend(p, wr) }
 func (q qp) PostRecv(p *simtime.Proc, wr verbs.RecvWR) error { return q.qp.PostRecv(p, wr) }
+
+// Callback-style posting (verbs.AsyncQP): the doorbell rings the RNIC
+// directly, so the async path is a pass-through too.
+func (q qp) PostSendCost() simtime.Duration      { return q.qp.PostSendCost() }
+func (q qp) PostSendAsync(wr verbs.SendWR) error { return q.qp.PostSendAsync(wr) }
 
 func (q qp) Destroy(p *simtime.Proc) error {
 	q.d.cfg.Dev.DestroyQP(p, q.qp)

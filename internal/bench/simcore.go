@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"masq/internal/apps/perftest"
+	"masq/internal/cluster"
+	"masq/internal/simtime"
+)
+
+// SimCoreMetric is one engine-primitive measurement.
+type SimCoreMetric struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	EventsPerOp float64 `json:"events_per_op"`
+}
+
+// SimCoreReport is the perf snapshot emitted as BENCH_simcore.json so the
+// engine's wall-clock trajectory is tracked across PRs.
+type SimCoreReport struct {
+	// Primitives are steady-state micro-measurements of the DES core.
+	Primitives []SimCoreMetric `json:"primitives"`
+	// EndToEnd runs one NIC-cache ablation cell (64 QPs, 512 B writes over
+	// SR-IOV) and reports the whole-simulator event rate.
+	EndToEnd struct {
+		Workload     string  `json:"workload"`
+		Events       uint64  `json:"events"`
+		WallSeconds  float64 `json:"wall_seconds"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"end_to_end"`
+}
+
+// measure runs setup once, then op n times, and reports wall time, heap
+// allocations, and engine events per op.
+func measure(name string, n int, setup func() (*simtime.Engine, func())) SimCoreMetric {
+	eng, op := setup()
+	op() // warm the pools so the steady state is what's measured
+	ev0 := eng.Events()
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		op()
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return SimCoreMetric{
+		Name:        name,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(n),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		EventsPerOp: float64(eng.Events()-ev0) / float64(n),
+	}
+}
+
+// SimCoreBench measures the DES core primitives and one end-to-end
+// experiment cell.
+func SimCoreBench() *SimCoreReport {
+	const n = 200000
+	rep := &SimCoreReport{}
+
+	rep.Primitives = append(rep.Primitives, measure("sleep_wake", n, func() (*simtime.Engine, func()) {
+		eng := simtime.NewEngine()
+		ping := simtime.NewQueue[struct{}](eng)
+		pong := simtime.NewQueue[struct{}](eng)
+		eng.Spawn("sleeper", func(p *simtime.Proc) {
+			for {
+				ping.Get(p)
+				p.Sleep(1)
+				pong.Put(struct{}{})
+			}
+		})
+		// Each op resumes the proc, lets it sleep/wake once, and drains it.
+		return eng, func() {
+			ping.Put(struct{}{})
+			eng.RunUntil(eng.Now().Add(simtime.Us(1)))
+			pong.TryGet()
+		}
+	}))
+
+	rep.Primitives = append(rep.Primitives, measure("timer_callback", n, func() (*simtime.Engine, func()) {
+		eng := simtime.NewEngine()
+		var t *simtime.Timer
+		t = eng.NewTimer(func() {})
+		return eng, func() {
+			t.ScheduleAfter(1)
+			eng.RunUntil(eng.Now().Add(simtime.Us(1)))
+		}
+	}))
+
+	rep.Primitives = append(rep.Primitives, measure("queue_callback", n, func() (*simtime.Engine, func()) {
+		eng := simtime.NewEngine()
+		q := simtime.NewQueue[int](eng)
+		var onItem func(int)
+		onItem = func(int) { q.OnNext(onItem) }
+		q.OnNext(onItem)
+		return eng, func() {
+			q.Put(1)
+			eng.RunUntil(eng.Now().Add(simtime.Us(1)))
+		}
+	}))
+
+	rep.EndToEnd.Workload = "abl-nic-cache cell: 64 QPs, 512 B WriteBW, 64-entry ctx cache"
+	cfg := cluster.DefaultConfig()
+	cfg.RNIC.CtxCacheSize = 64
+	cfg.RNIC.CtxMissPenalty = simtime.Us(0.8)
+	cp, err := cluster.NewConnectedPair(cfg, cluster.ModeSRIOV)
+	if err != nil {
+		panic(err)
+	}
+	type flow struct{ c, s *cluster.Endpoint }
+	flows := []flow{{cp.Client, cp.Server}}
+	for i := 1; i < 64; i++ {
+		c, s, err := cp.ConnectExtraQP(cluster.DefaultEndpointOpts(), uint16(7100+i))
+		if err != nil {
+			panic(err)
+		}
+		flows = append(flows, flow{c, s})
+	}
+	for _, f := range flows {
+		perftest.StartWriteBW(cp.TB.Eng, f.c, f.s, 512, 256, 8)
+	}
+	start := time.Now()
+	cp.TB.Eng.Run()
+	wall := time.Since(start).Seconds()
+	rep.EndToEnd.Events = cp.TB.Eng.Events()
+	rep.EndToEnd.WallSeconds = wall
+	rep.EndToEnd.EventsPerSec = float64(cp.TB.Eng.Events()) / wall
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *SimCoreReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -50,7 +50,8 @@ type Host struct {
 	Port    *simnet.Port
 	VSwitch *overlay.VSwitch
 
-	vms []*VM
+	demuxCb func(simnet.Frame) // cached RX callback
+	vms     []*VM
 }
 
 // HostConfig configures a new host.
@@ -84,29 +85,42 @@ func NewHost(eng *simtime.Engine, cfg HostConfig) *Host {
 	if cfg.Fabric != nil {
 		h.VSwitch = cfg.Fabric.NewVSwitch(cfg.IP, cfg.MAC, port, cfg.ResolveHost)
 	}
-	eng.Spawn(cfg.Name+".demux", h.demux)
+	h.demuxCb = h.demux
+	port.RX.OnNext(h.demuxCb)
 	return h
 }
 
-// demux steers arriving frames: RoCEv2 → RNIC, VXLAN → vswitch.
-func (h *Host) demux(p *simtime.Proc) {
+// demux steers arriving frames — RoCEv2 → RNIC, VXLAN → vswitch — running
+// inline in the engine loop: steering costs no virtual time, so it needs no
+// process of its own.
+func (h *Host) demux(f simnet.Frame) {
 	for {
-		f := h.Port.RX.Get(p)
-		pkt, err := packet.Decode(f)
-		if err != nil {
-			continue
-		}
-		u := pkt.UDP()
-		if u == nil {
-			continue
-		}
-		switch u.DstPort {
-		case packet.PortRoCEv2:
-			h.Dev.Ingress.Put(pkt)
-		case packet.PortVXLAN:
-			if h.VSwitch != nil {
-				h.VSwitch.Ingress.Put(pkt)
+		// Frames decode from the RNIC's arena pool: RoCE packets are
+		// released by the RX pipeline after handling; vswitch-bound ones
+		// are retained by the overlay and left to the garbage collector.
+		if pkt, err := h.Dev.RxDecode(f); err == nil {
+			dispatched := false
+			if u := pkt.UDP(); u != nil {
+				switch u.DstPort {
+				case packet.PortRoCEv2:
+					h.Dev.Ingress.Put(pkt)
+					dispatched = true
+				case packet.PortVXLAN:
+					if h.VSwitch != nil {
+						h.VSwitch.Ingress.Put(pkt)
+						dispatched = true
+					}
+				}
 			}
+			if !dispatched {
+				pkt.Release()
+			}
+		}
+		var ok bool
+		f, ok = h.Port.RX.TryGet()
+		if !ok {
+			h.Port.RX.OnNext(h.demuxCb)
+			return
 		}
 	}
 }

@@ -123,6 +123,12 @@ func (c fcq) Destroy(p *simtime.Proc) error {
 	return err
 }
 
+// The mapped CQ ring also supports the callback-style capability
+// (verbs.AsyncCQ) without touching the control path.
+func (c fcq) OnComplete(fn func(verbs.WC)) { c.cq.OnComplete(fn) }
+func (c fcq) TryGet() (verbs.WC, bool)     { return c.cq.TryGet() }
+func (c fcq) PollCost() simtime.Duration   { return c.cq.PollCost() }
+
 func (d *fdevice) CreateCQ(p *simtime.Proc, cqe int) (verbs.CQ, error) {
 	v, err := d.f.call(p, cmdCreateCQ{sess: d.f.sess, cqe: cqe})
 	if err != nil {
@@ -163,6 +169,17 @@ func (q fqp) PostSend(p *simtime.Proc, wr verbs.SendWR) error {
 // PostRecv is pure data path.
 func (q fqp) PostRecv(p *simtime.Proc, wr verbs.RecvWR) error {
 	return q.qp.PostRecv(p, wr)
+}
+
+// Callback-style posting (verbs.AsyncQP) covers the zero-copy data path
+// only; a UD WR that names a virtual destination must go through the
+// control path, which needs a process context.
+func (q fqp) PostSendCost() simtime.Duration { return q.qp.PostSendCost() }
+func (q fqp) PostSendAsync(wr verbs.SendWR) error {
+	if q.qp.Type == rnic.UD && wr.Remote != nil {
+		return fmt.Errorf("masq: async post_send cannot route a UD WR through RConnrename")
+	}
+	return q.qp.PostSendAsync(wr)
 }
 
 func (q fqp) Destroy(p *simtime.Proc) error {

@@ -16,11 +16,17 @@ var icrcTable = crc32.MakeTable(crc32.Castagnoli)
 // contains a BTH, a 4-byte ICRC covering the BTH and everything after it is
 // appended (and accounted for in the length fields).
 func Serialize(layers ...Layer) []byte {
+	// One headerLen pass, cached for the later loops (the interface
+	// dispatch per layer shows up at packet rates).
+	var hlbuf [16]int
+	hls := hlbuf[:0]
 	total := 0
 	bthIdx := -1
 	for i, l := range layers {
-		total += l.headerLen()
-		if l.LayerType() == LayerBTH {
+		n := l.headerLen()
+		hls = append(hls, n)
+		total += n
+		if _, ok := l.(*BTH); ok {
 			bthIdx = i
 		}
 	}
@@ -32,7 +38,7 @@ func Serialize(layers ...Layer) []byte {
 
 	// Fill length fields bottom-up first: bytes remaining after each header.
 	remaining := total + icrcLen
-	for _, l := range layers {
+	for i, l := range layers {
 		switch h := l.(type) {
 		case *IPv4:
 			if h.TotalLen == 0 {
@@ -43,7 +49,7 @@ func Serialize(layers ...Layer) []byte {
 				h.Length = uint16(remaining)
 			}
 		}
-		remaining -= l.headerLen()
+		remaining -= hls[i]
 	}
 
 	off := 0
@@ -52,8 +58,9 @@ func Serialize(layers ...Layer) []byte {
 		if i == bthIdx {
 			bthOff = off
 		}
-		l.marshal(buf[off : off+l.headerLen()])
-		off += l.headerLen()
+		n := hls[i]
+		l.marshal(buf[off : off+n])
+		off += n
 	}
 	if bthIdx >= 0 {
 		crc := crc32.Checksum(buf[bthOff:off], icrcTable)
@@ -74,6 +81,24 @@ type Packet struct {
 	// InnerRaw is the undecoded inner frame bytes behind a VXLAN header,
 	// useful for forwarding without re-serialization.
 	InnerRaw []byte
+
+	arena *decodeArena // backing arena, for Release
+
+	// Typed header pointers, filled by the decoder so the accessors below
+	// skip the Layers scan (and its per-element interface dispatch) on the
+	// hot path. Hand-assembled packets leave them nil and fall back to the
+	// scan.
+	ethHdr  *Ethernet
+	ipHdr   *IPv4
+	udpHdr  *UDP
+	vxHdr   *VXLAN
+	bthHdr  *BTH
+	dethHdr *DETH
+	rethHdr *RETH
+	aethHdr *AETH
+	aeHdr   *AtomicETH
+	aaHdr   *AtomicAckETH
+	immHdr  *ImmDt
 }
 
 // Layer returns the first layer of type t, or nil.
@@ -88,6 +113,9 @@ func (p *Packet) Layer(t LayerType) Layer {
 
 // Ethernet returns the Ethernet header, or nil.
 func (p *Packet) Ethernet() *Ethernet {
+	if p.ethHdr != nil {
+		return p.ethHdr
+	}
 	if l := p.Layer(LayerEthernet); l != nil {
 		return l.(*Ethernet)
 	}
@@ -96,6 +124,9 @@ func (p *Packet) Ethernet() *Ethernet {
 
 // IPv4 returns the IPv4 header, or nil.
 func (p *Packet) IPv4() *IPv4 {
+	if p.ipHdr != nil {
+		return p.ipHdr
+	}
 	if l := p.Layer(LayerIPv4); l != nil {
 		return l.(*IPv4)
 	}
@@ -104,6 +135,9 @@ func (p *Packet) IPv4() *IPv4 {
 
 // UDP returns the UDP header, or nil.
 func (p *Packet) UDP() *UDP {
+	if p.udpHdr != nil {
+		return p.udpHdr
+	}
 	if l := p.Layer(LayerUDP); l != nil {
 		return l.(*UDP)
 	}
@@ -112,6 +146,9 @@ func (p *Packet) UDP() *UDP {
 
 // VXLAN returns the VXLAN header, or nil.
 func (p *Packet) VXLAN() *VXLAN {
+	if p.vxHdr != nil {
+		return p.vxHdr
+	}
 	if l := p.Layer(LayerVXLAN); l != nil {
 		return l.(*VXLAN)
 	}
@@ -120,6 +157,9 @@ func (p *Packet) VXLAN() *VXLAN {
 
 // BTH returns the base transport header, or nil.
 func (p *Packet) BTH() *BTH {
+	if p.bthHdr != nil {
+		return p.bthHdr
+	}
 	if l := p.Layer(LayerBTH); l != nil {
 		return l.(*BTH)
 	}
@@ -128,6 +168,9 @@ func (p *Packet) BTH() *BTH {
 
 // RETH returns the RDMA extended transport header, or nil.
 func (p *Packet) RETH() *RETH {
+	if p.rethHdr != nil {
+		return p.rethHdr
+	}
 	if l := p.Layer(LayerRETH); l != nil {
 		return l.(*RETH)
 	}
@@ -136,6 +179,9 @@ func (p *Packet) RETH() *RETH {
 
 // AETH returns the ACK extended transport header, or nil.
 func (p *Packet) AETH() *AETH {
+	if p.aethHdr != nil {
+		return p.aethHdr
+	}
 	if l := p.Layer(LayerAETH); l != nil {
 		return l.(*AETH)
 	}
@@ -144,6 +190,9 @@ func (p *Packet) AETH() *AETH {
 
 // DETH returns the datagram extended transport header, or nil.
 func (p *Packet) DETH() *DETH {
+	if p.dethHdr != nil {
+		return p.dethHdr
+	}
 	if l := p.Layer(LayerDETH); l != nil {
 		return l.(*DETH)
 	}
@@ -152,6 +201,9 @@ func (p *Packet) DETH() *DETH {
 
 // AtomicETH returns the atomic request header, or nil.
 func (p *Packet) AtomicETH() *AtomicETH {
+	if p.aeHdr != nil {
+		return p.aeHdr
+	}
 	if l := p.Layer(LayerAtomicETH); l != nil {
 		return l.(*AtomicETH)
 	}
@@ -160,6 +212,9 @@ func (p *Packet) AtomicETH() *AtomicETH {
 
 // AtomicAckETH returns the atomic response header, or nil.
 func (p *Packet) AtomicAckETH() *AtomicAckETH {
+	if p.aaHdr != nil {
+		return p.aaHdr
+	}
 	if l := p.Layer(LayerAtomicAckETH); l != nil {
 		return l.(*AtomicAckETH)
 	}
@@ -168,6 +223,9 @@ func (p *Packet) AtomicAckETH() *AtomicAckETH {
 
 // ImmDt returns the immediate-data header, or nil.
 func (p *Packet) ImmDt() *ImmDt {
+	if p.immHdr != nil {
+		return p.immHdr
+	}
 	if l := p.Layer(LayerImmDt); l != nil {
 		return l.(*ImmDt)
 	}
@@ -191,54 +249,127 @@ func (p *Packet) String() string {
 	return s
 }
 
+// decodeArena backs one Decode call with a single allocation: the Packet,
+// the layer-slice storage, and every header struct the frame could contain
+// all share one block and one lifetime (the returned *Packet pins them).
+// Decode is the hottest allocation site in a packet-level run — collapsing
+// its ~9 small allocations into one is worth the arena's slack bytes.
+type decodeArena struct {
+	pkt    Packet
+	layers [8]Layer
+	eth    Ethernet
+	ip     IPv4
+	udp    UDP
+	vx     VXLAN
+	bth    BTH
+	deth   DETH
+	reth   RETH
+	ae     AtomicETH
+	aeth   AETH
+	aa     AtomicAckETH
+	imm    ImmDt
+
+	pool *Pool // owning pool, nil for one-shot arenas
+}
+
+// Pool recycles decode arenas for consumers with a clear packet lifetime
+// (the RNIC RX pipeline copies every payload byte out before moving on).
+// Pool.Decode draws an arena from the free list and Packet.Release returns
+// it, so steady-state decoding allocates nothing. Packets whose consumers
+// may retain them (or that never call Release) fall back to the garbage
+// collector — an unreleased arena is lost to the pool, never corrupted.
+type Pool struct {
+	free []*decodeArena
+}
+
+// Decode is the package-level Decode drawing its arena from the pool. The
+// packet and every header it exposes are valid only until Release.
+func (pl *Pool) Decode(data []byte) (*Packet, error) {
+	var a *decodeArena
+	if n := len(pl.free); n > 0 {
+		a = pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+	} else {
+		a = &decodeArena{}
+	}
+	a.pool = pl
+	p, err := decodeInto(a, data)
+	if err != nil {
+		*a = decodeArena{}
+		pl.free = append(pl.free, a)
+		return nil, err
+	}
+	return p, nil
+}
+
+// Release returns the packet's arena to its pool for reuse; the packet and
+// all its layers are invalid afterwards. It is a no-op for packets decoded
+// outside a pool, so release points need not know how a packet was made.
+func (p *Packet) Release() {
+	a := p.arena
+	if a == nil || a.pool == nil {
+		return
+	}
+	pl := a.pool
+	*a = decodeArena{} // drop frame/payload references before pooling
+	pl.free = append(pl.free, a)
+}
+
 // Decode parses a full Ethernet frame produced by Serialize.
 func Decode(data []byte) (*Packet, error) {
-	p := &Packet{}
-	eth := &Ethernet{}
-	n, err := eth.unmarshal(data)
+	return decodeInto(&decodeArena{}, data)
+}
+
+func decodeInto(a *decodeArena, data []byte) (*Packet, error) {
+	p := &a.pkt
+	p.arena = a
+	p.Layers = a.layers[:0]
+	n, err := a.eth.unmarshal(data)
 	if err != nil {
 		return nil, err
 	}
-	p.Layers = append(p.Layers, eth)
+	p.Layers = append(p.Layers, &a.eth)
+	p.ethHdr = &a.eth
 	rest := data[n:]
 
-	if eth.EtherType != EtherTypeIPv4 {
+	if a.eth.EtherType != EtherTypeIPv4 {
 		p.Payload = Payload(rest)
 		return p, nil
 	}
-	ip := &IPv4{}
-	n, err = ip.unmarshal(rest)
+	n, err = a.ip.unmarshal(rest)
 	if err != nil {
 		return nil, err
 	}
-	p.Layers = append(p.Layers, ip)
-	if int(ip.TotalLen) > len(rest) {
-		return nil, fmt.Errorf("packet: ipv4 total length %d exceeds frame (%d)", ip.TotalLen, len(rest))
+	p.Layers = append(p.Layers, &a.ip)
+	p.ipHdr = &a.ip
+	if int(a.ip.TotalLen) > len(rest) {
+		return nil, fmt.Errorf("packet: ipv4 total length %d exceeds frame (%d)", a.ip.TotalLen, len(rest))
 	}
-	rest = rest[n:ip.TotalLen]
+	rest = rest[n:a.ip.TotalLen]
 
-	if ip.Protocol != ProtoUDP {
+	if a.ip.Protocol != ProtoUDP {
 		p.Payload = Payload(rest)
 		return p, nil
 	}
-	udp := &UDP{}
-	n, err = udp.unmarshal(rest)
+	n, err = a.udp.unmarshal(rest)
 	if err != nil {
 		return nil, err
 	}
-	p.Layers = append(p.Layers, udp)
+	p.Layers = append(p.Layers, &a.udp)
+	p.udpHdr = &a.udp
 	rest = rest[n:]
 
-	switch udp.DstPort {
+	switch a.udp.DstPort {
 	case PortRoCEv2:
-		return p, decodeRoCE(p, rest)
+		return p, decodeRoCE(a, rest)
 	case PortVXLAN:
-		vx := &VXLAN{}
-		n, err = vx.unmarshal(rest)
+		n, err = a.vx.unmarshal(rest)
 		if err != nil {
 			return nil, err
 		}
-		p.Layers = append(p.Layers, vx)
+		p.Layers = append(p.Layers, &a.vx)
+		p.vxHdr = &a.vx
 		inner, err := Decode(rest[n:])
 		if err != nil {
 			return nil, fmt.Errorf("packet: inner frame: %w", err)
@@ -252,69 +383,70 @@ func Decode(data []byte) (*Packet, error) {
 	}
 }
 
-func decodeRoCE(p *Packet, rest []byte) error {
+func decodeRoCE(a *decodeArena, rest []byte) error {
+	p := &a.pkt
 	start := rest // ICRC covers from BTH
-	bth := &BTH{}
-	n, err := bth.unmarshal(rest)
+	n, err := a.bth.unmarshal(rest)
 	if err != nil {
 		return err
 	}
-	p.Layers = append(p.Layers, bth)
+	p.Layers = append(p.Layers, &a.bth)
+	p.bthHdr = &a.bth
 	rest = rest[n:]
 
-	op := bth.OpCode
+	op := a.bth.OpCode
 	if op.IsUD() {
-		deth := &DETH{}
-		n, err = deth.unmarshal(rest)
+		n, err = a.deth.unmarshal(rest)
 		if err != nil {
 			return err
 		}
-		p.Layers = append(p.Layers, deth)
+		p.Layers = append(p.Layers, &a.deth)
+		p.dethHdr = &a.deth
 		rest = rest[n:]
 	}
 	if op == OpReadRequest || (op.IsWrite() && (op.IsFirst() || op == OpWriteOnly || op == OpWriteOnlyImm)) {
-		reth := &RETH{}
-		n, err = reth.unmarshal(rest)
+		n, err = a.reth.unmarshal(rest)
 		if err != nil {
 			return err
 		}
-		p.Layers = append(p.Layers, reth)
+		p.Layers = append(p.Layers, &a.reth)
+		p.rethHdr = &a.reth
 		rest = rest[n:]
 	}
 	if op.IsAtomic() {
-		ae := &AtomicETH{}
-		n, err = ae.unmarshal(rest)
+		n, err = a.ae.unmarshal(rest)
 		if err != nil {
 			return err
 		}
-		p.Layers = append(p.Layers, ae)
+		p.Layers = append(p.Layers, &a.ae)
+		p.aeHdr = &a.ae
 		rest = rest[n:]
 	}
 	if op == OpAcknowledge || op == OpAtomicAcknowledge || op == OpReadResponseFirst || op == OpReadResponseLast || op == OpReadResponseOnly {
-		aeth := &AETH{}
-		n, err = aeth.unmarshal(rest)
+		n, err = a.aeth.unmarshal(rest)
 		if err != nil {
 			return err
 		}
-		p.Layers = append(p.Layers, aeth)
+		p.Layers = append(p.Layers, &a.aeth)
+		p.aethHdr = &a.aeth
 		rest = rest[n:]
 	}
 	if op == OpAtomicAcknowledge {
-		aa := &AtomicAckETH{}
-		n, err = aa.unmarshal(rest)
+		n, err = a.aa.unmarshal(rest)
 		if err != nil {
 			return err
 		}
-		p.Layers = append(p.Layers, aa)
+		p.Layers = append(p.Layers, &a.aa)
+		p.aaHdr = &a.aa
 		rest = rest[n:]
 	}
 	if op.HasImmediate() {
-		imm := &ImmDt{}
-		n, err = imm.unmarshal(rest)
+		n, err = a.imm.unmarshal(rest)
 		if err != nil {
 			return err
 		}
-		p.Layers = append(p.Layers, imm)
+		p.Layers = append(p.Layers, &a.imm)
+		p.immHdr = &a.imm
 		rest = rest[n:]
 	}
 

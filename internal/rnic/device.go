@@ -38,10 +38,13 @@ type Device struct {
 	port    *simnet.Port
 
 	funcs []*Func
-	qps   map[uint32]*QP
-	mrs   map[uint32]*MR
-	cqs   map[uint32]*CQ
-	pds   map[uint32]*PD
+	// qps is indexed by QP number — QPNs are dense (assigned sequentially
+	// from 1), so a slice beats a map on the per-packet lookup path.
+	qps  []*QP
+	nqps int
+	mrs  map[uint32]*MR
+	cqs  map[uint32]*CQ
+	pds  map[uint32]*PD
 
 	nextQPN, nextKey, nextCQ, nextPD uint32
 
@@ -49,6 +52,142 @@ type Device struct {
 	txActive *simtime.Queue[*QP]
 	ctxCache *lruCache
 	rec      *trace.Recorder
+
+	// Callback-pipeline state. The TX and RX pipelines each process one
+	// packet at a time inline in the engine loop; these fields carry the
+	// in-flight packet across the occupancy delay, and the cached callbacks
+	// avoid a method-value allocation per re-arm.
+	txServe   func(*QP)
+	txPktDone *simtime.Timer
+	txQP      *QP
+	txFrame   simnet.Frame
+	txOcc     simtime.Duration
+
+	rxServe   func(*packet.Packet)
+	rxPktDone *simtime.Timer
+	rxPkt     *packet.Packet
+	rxQP      *QP
+
+	// enc is scratch for assembling outbound frames. Serialize copies every
+	// header into the wire buffer before returning, so the header structs
+	// and layer slice are dead the moment a frame is built and one reusable
+	// set per device serves every packet — the engine runs one event at a
+	// time, and no assembly spans an event boundary.
+	enc frameScratch
+
+	// Pools for the delayed-action records of the data path (post-pipeline
+	// frame emission, deferred ACK retirement). Each record owns an
+	// intrusive timer, so steady state allocates neither closures nor
+	// events.
+	emitFree   []*emitJob
+	retireFree []*retireJob
+
+	// pktPool recycles decode arenas for arriving frames. The RX pipeline
+	// releases a packet once its handler has copied everything out;
+	// packets steered elsewhere (e.g. the overlay vswitch) are simply
+	// never released and fall back to the garbage collector.
+	pktPool packet.Pool
+}
+
+// RxDecode decodes an arriving frame from the device's arena pool. The
+// caller must treat the packet as dead once the RX pipeline has handled
+// (and released) it.
+func (d *Device) RxDecode(f simnet.Frame) (*packet.Packet, error) {
+	return d.pktPool.Decode(f)
+}
+
+// frameScratch holds one reusable set of header layers for Serialize.
+type frameScratch struct {
+	layers  [8]packet.Layer
+	eth     packet.Ethernet
+	ip      packet.IPv4
+	udp     packet.UDP
+	bth     packet.BTH
+	deth    packet.DETH
+	reth    packet.RETH
+	ae      packet.AtomicETH
+	aeth    packet.AETH
+	aaeth   packet.AtomicAckETH
+	imm     packet.ImmDt
+	pay     packet.Payload
+	payload []byte
+}
+
+// payloadBuf returns an n-byte scratch buffer for gathering DMA payload
+// that is consumed (copied) by Serialize within the same call.
+func (s *frameScratch) payloadBuf(n int) []byte {
+	if cap(s.payload) < n {
+		s.payload = make([]byte, n)
+	}
+	return s.payload[:n]
+}
+
+// emitJob carries one frame across its post-pipeline latency to emit.
+type emitJob struct {
+	d       *Device
+	dip     packet.IP
+	f       simnet.Frame
+	countTx bool
+	t       *simtime.Timer
+}
+
+// emitAfter emits the frame toward dip after delay, counting it against
+// the TX stats if countTx (data-path packets are counted at emission; ACKs
+// and responses are not, matching the process-based implementation).
+func (d *Device) emitAfter(delay simtime.Duration, dip packet.IP, f simnet.Frame, countTx bool) {
+	var j *emitJob
+	if n := len(d.emitFree); n > 0 {
+		j = d.emitFree[n-1]
+		d.emitFree[n-1] = nil
+		d.emitFree = d.emitFree[:n-1]
+	} else {
+		j = &emitJob{d: d}
+		j.t = d.eng.NewTimer(j.fire)
+	}
+	j.dip, j.f, j.countTx = dip, f, countTx
+	j.t.ScheduleAfter(delay)
+}
+
+func (j *emitJob) fire() {
+	d, dip, f, count := j.d, j.dip, j.f, j.countTx
+	j.f = nil
+	d.emitFree = append(d.emitFree, j)
+	if count {
+		d.Stats.TxPackets++
+		d.Stats.TxBytes += uint64(len(f))
+	}
+	d.emit(dip, f)
+}
+
+// retireJob defers a cumulative-ACK retirement by the ACK processing cost.
+type retireJob struct {
+	d   *Device
+	qp  *QP
+	psn uint32
+	t   *simtime.Timer
+}
+
+// retireAfter retires qp's WQEs up to psn once the ACK processing delay
+// elapses.
+func (d *Device) retireAfter(delay simtime.Duration, qp *QP, psn uint32) {
+	var j *retireJob
+	if n := len(d.retireFree); n > 0 {
+		j = d.retireFree[n-1]
+		d.retireFree[n-1] = nil
+		d.retireFree = d.retireFree[:n-1]
+	} else {
+		j = &retireJob{d: d}
+		j.t = d.eng.NewTimer(j.fire)
+	}
+	j.qp, j.psn = qp, psn
+	j.t.ScheduleAfter(delay)
+}
+
+func (j *retireJob) fire() {
+	qp, psn := j.qp, j.psn
+	j.qp = nil
+	j.d.retireFree = append(j.d.retireFree, j)
+	qp.retire(psn)
 }
 
 // SetRecorder attaches a trace recorder; every firmware verb execution is
@@ -77,7 +216,6 @@ func NewDevice(eng *simtime.Engine, name string, p Params, hostMem mem.Memory) *
 		Ingress:  simtime.NewQueue[*packet.Packet](eng),
 		eng:      eng,
 		hostMem:  hostMem,
-		qps:      make(map[uint32]*QP),
 		mrs:      make(map[uint32]*MR),
 		cqs:      make(map[uint32]*CQ),
 		pds:      make(map[uint32]*PD),
@@ -96,10 +234,15 @@ func NewDevice(eng *simtime.Engine, name string, p Params, hostMem mem.Memory) *
 }
 
 // AttachPort wires the device's wire side and starts the TX/RX pipelines.
+// Both pipelines run as engine callbacks — no goroutine per device.
 func (d *Device) AttachPort(port *simnet.Port) {
 	d.port = port
-	d.eng.Spawn(d.Name+".tx", d.txLoop)
-	d.eng.Spawn(d.Name+".rx", d.rxLoop)
+	d.txServe = d.txService
+	d.txPktDone = d.eng.NewTimer(d.txDone)
+	d.txActive.OnNext(d.txServe)
+	d.rxServe = d.rxService
+	d.rxPktDone = d.eng.NewTimer(d.rxDone)
+	d.Ingress.OnNext(d.rxServe)
 }
 
 // Engine returns the simulation engine the device runs on.
@@ -111,19 +254,26 @@ func (d *Device) Engine() *simtime.Engine { return d.eng }
 // RDMA-only wiring (and tests).
 func (d *Device) ServePort(port *simnet.Port) {
 	d.AttachPort(port)
-	d.eng.Spawn(d.Name+".demux", func(p *simtime.Proc) {
+	var serve func(simnet.Frame)
+	serve = func(f simnet.Frame) {
 		for {
-			f := port.RX.Get(p)
-			pkt, err := packet.Decode(f)
+			pkt, err := d.pktPool.Decode(f)
 			if err != nil {
 				d.Stats.Dropped++
-				continue
-			}
-			if u := pkt.UDP(); u != nil && u.DstPort == packet.PortRoCEv2 {
+			} else if u := pkt.UDP(); u != nil && u.DstPort == packet.PortRoCEv2 {
 				d.Ingress.Put(pkt)
+			} else {
+				pkt.Release()
+			}
+			var ok bool
+			f, ok = port.RX.TryGet()
+			if !ok {
+				port.RX.OnNext(serve)
+				return
 			}
 		}
-	})
+	}
+	port.RX.OnNext(serve)
 }
 
 // PF returns the physical function.
@@ -302,7 +452,11 @@ func (d *Device) CreateQP(p *simtime.Proc, f *Func, pd *PD, scq, rcq *CQ, typ QP
 		dev:    d,
 	}
 	d.nextQPN++
+	for int(qp.Num) >= len(d.qps) {
+		d.qps = append(d.qps, nil)
+	}
 	d.qps[qp.Num] = qp
+	d.nqps++
 	return qp
 }
 
@@ -346,16 +500,26 @@ func (s *SRQ) PostRecv(p *simtime.Proc, wr RecvWR) error {
 func (s *SRQ) Len() int { return len(s.rq) }
 
 // QP returns the queue pair with the given number, or nil.
-func (d *Device) QP(qpn uint32) *QP { return d.qps[qpn] }
+func (d *Device) QP(qpn uint32) *QP { return d.qpLookup(qpn) }
+
+func (d *Device) qpLookup(qpn uint32) *QP {
+	if int(qpn) < len(d.qps) {
+		return d.qps[qpn]
+	}
+	return nil
+}
 
 // QPs returns the live QP count (diagnostics).
-func (d *Device) QPs() int { return len(d.qps) }
+func (d *Device) QPs() int { return d.nqps }
 
 // DestroyQP models ibv_destroy_qp.
 func (d *Device) DestroyQP(p *simtime.Proc, qp *QP) {
 	d.exec(p, VerbDestroyQP, qp.fn, 0)
 	qp.flush()
-	delete(d.qps, qp.Num)
+	if int(qp.Num) < len(d.qps) && d.qps[qp.Num] != nil {
+		d.qps[qp.Num] = nil
+		d.nqps--
+	}
 }
 
 // Attr carries modify_qp arguments. Only fields relevant to the target
@@ -437,35 +601,93 @@ func (d *Device) ctxLookup(qpn uint32) simtime.Duration {
 	return d.P.CtxMissPenalty
 }
 
-// lruCache is a small LRU set of QP numbers.
+// lruCache is a small LRU set of QP numbers: a QPN-indexed slice (QPNs are
+// dense) over an intrusive doubly-linked recency list, so touch is O(1)
+// with no hashing even under the all-miss thrash the NIC-cache ablation
+// drives it with. Evicted nodes are recycled on a free list, so a
+// warmed-up cache never allocates.
 type lruCache struct {
 	cap   int
-	seq   uint64
-	items map[uint32]uint64
+	slots []*lruNode // indexed by QPN
+	n     int        // live entries
+	head  *lruNode   // most recently used
+	tail  *lruNode   // least recently used
+	free  *lruNode
+}
+
+type lruNode struct {
+	qpn        uint32
+	prev, next *lruNode
 }
 
 func newLRU(capacity int) *lruCache {
-	return &lruCache{cap: capacity, items: make(map[uint32]uint64)}
+	return &lruCache{cap: capacity}
 }
 
 // touch marks qpn used and reports whether it was already cached,
 // evicting the least recently used entry on insert.
 func (c *lruCache) touch(qpn uint32) bool {
-	c.seq++
-	if _, ok := c.items[qpn]; ok {
-		c.items[qpn] = c.seq
-		return true
-	}
-	if len(c.items) >= c.cap {
-		var oldK uint32
-		oldV := ^uint64(0)
-		for k, v := range c.items {
-			if v < oldV {
-				oldK, oldV = k, v
-			}
+	if int(qpn) < len(c.slots) {
+		if n := c.slots[qpn]; n != nil {
+			c.moveToFront(n)
+			return true
 		}
-		delete(c.items, oldK)
 	}
-	c.items[qpn] = c.seq
+	if c.n >= c.cap {
+		old := c.tail
+		c.unlink(old)
+		c.slots[old.qpn] = nil
+		c.n--
+		old.next = c.free
+		c.free = old
+	}
+	n := c.free
+	if n != nil {
+		c.free = n.next
+		n.next = nil
+	} else {
+		n = &lruNode{}
+	}
+	n.qpn = qpn
+	c.pushFront(n)
+	for int(qpn) >= len(c.slots) {
+		c.slots = append(c.slots, nil)
+	}
+	c.slots[qpn] = n
+	c.n++
 	return false
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
 }

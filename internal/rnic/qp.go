@@ -53,11 +53,22 @@ type QP struct {
 	nakSent  bool
 	curRecv  *recvCtx
 	curWrite *writeCtx
+	// rctx/wctx back curRecv/curWrite: one in-progress message of each kind
+	// exists per QP at a time, so the contexts live inline and starting a
+	// new message allocates nothing.
+	rctx recvCtx
+	wctx writeCtx
 	// atomicHist caches recent atomic results keyed by PSN so a
 	// retransmitted (duplicate) atomic request is answered from history
 	// instead of being re-executed — atomics are not idempotent.
 	atomicHist map[uint32]uint64
 	atomicFIFO []uint32
+
+	// wqeFree pools retired send WQEs. READ WQEs are exempt: a read
+	// completes through a deferred callback that compares WQE pointer
+	// identity against the queue head, and a recycled record could alias a
+	// newly posted one.
+	wqeFree []*sendWQE
 }
 
 type sendWQE struct {
@@ -104,6 +115,21 @@ func psnDiff(a, b uint32) int32 {
 // ERROR but the WR completes immediately with a flush error.
 func (qp *QP) PostSend(p *simtime.Proc, wr SendWR) error {
 	p.Sleep(qp.dev.P.VerbCost[VerbPostSend])
+	return qp.postSendNow(wr)
+}
+
+// PostSendCost returns the post_send verb cost, for callback-style callers
+// that charge it with a timer instead of a process sleep.
+func (qp *QP) PostSendCost() simtime.Duration { return qp.dev.P.VerbCost[VerbPostSend] }
+
+// PostSendAsync applies a post_send whose verb cost the caller has already
+// charged (Timer.ScheduleAfter(PostSendCost()) standing in for PostSend's
+// leading Sleep). The queue-state checks and WQE admission are identical to
+// PostSend's.
+func (qp *QP) PostSendAsync(wr SendWR) error { return qp.postSendNow(wr) }
+
+// postSendNow is PostSend after its verb-cost charge.
+func (qp *QP) postSendNow(wr SendWR) error {
 	if !qp.state.CanPostSend() {
 		return fmt.Errorf("%w: post_send in %v", ErrBadState, qp.state)
 	}
@@ -131,7 +157,16 @@ func (qp *QP) PostSend(p *simtime.Proc, wr SendWR) error {
 	if qp.Type == UD && wr.Len > qp.dev.P.MTU {
 		return fmt.Errorf("rnic: UD message of %d bytes exceeds MTU %d", wr.Len, qp.dev.P.MTU)
 	}
-	qp.sq = append(qp.sq, &sendWQE{wr: wr})
+	var w *sendWQE
+	if n := len(qp.wqeFree); n > 0 {
+		w = qp.wqeFree[n-1]
+		qp.wqeFree[n-1] = nil
+		qp.wqeFree = qp.wqeFree[:n-1]
+		*w = sendWQE{wr: wr}
+	} else {
+		w = &sendWQE{wr: wr}
+	}
+	qp.sq = append(qp.sq, w)
 	qp.kick()
 	return nil
 }
@@ -252,7 +287,7 @@ func (qp *QP) enterError(status WCStatus) {
 	if len(qp.sq) > 0 {
 		head := qp.sq[0]
 		qp.SendCQ.post(WC{WRID: head.wr.WRID, Status: status, Op: head.wr.Op, QPN: qp.Num})
-		qp.sq = qp.sq[1:]
+		qp.popHeadSQ()
 	}
 	qp.state = StateError
 	qp.flush()
@@ -299,15 +334,32 @@ func (qp *QP) retire(ack uint32) {
 	}
 }
 
+// popHeadSQ removes the head WQE by sliding the tail down one slot. Unlike
+// reslicing (sq = sq[1:]), this keeps the backing array anchored, so
+// postSendNow's append reuses the same capacity forever instead of
+// reallocating every time the window's worth of dead front fills up.
+func (qp *QP) popHeadSQ() {
+	n := len(qp.sq) - 1
+	copy(qp.sq, qp.sq[1:])
+	qp.sq[n] = nil
+	qp.sq = qp.sq[:n]
+}
+
 func (qp *QP) completeHead(w *sendWQE) {
 	if !w.wr.Unsignaled {
 		qp.SendCQ.post(WC{WRID: w.wr.WRID, Status: WCSuccess, Op: w.wr.Op, QPN: qp.Num, ByteLen: w.wr.Len})
 	}
-	qp.sq = qp.sq[1:]
+	qp.popHeadSQ()
 	if qp.txIdx > 0 {
 		qp.txIdx--
 	} else {
 		qp.txOff = 0 // head was still being packetized; it is gone now
+	}
+	if w.wr.Op != WRRead {
+		// Nothing holds a retired non-READ WQE (read completion callbacks
+		// are the one pointer-identity consumer), so recycle it.
+		*w = sendWQE{}
+		qp.wqeFree = append(qp.wqeFree, w)
 	}
 }
 

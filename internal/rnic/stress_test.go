@@ -247,7 +247,7 @@ func TestLRUCacheQuick(t *testing.T) {
 		c := newLRU(8)
 		for _, k := range keys {
 			c.touch(uint32(k % 64))
-			if len(c.items) > 8 {
+			if c.n > 8 {
 				return false
 			}
 			if !c.touch(uint32(k % 64)) { // immediate re-touch must hit

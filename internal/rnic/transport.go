@@ -48,7 +48,7 @@ func (d *Device) wireTime(n int) simtime.Duration {
 func (d *Device) emit(dip packet.IP, frame simnet.Frame) {
 	for _, f := range d.funcs {
 		if f.IP == dip {
-			pkt, err := packet.Decode(frame)
+			pkt, err := d.pktPool.Decode(frame)
 			if err != nil {
 				d.Stats.Dropped++
 				return
@@ -60,60 +60,90 @@ func (d *Device) emit(dip packet.IP, frame simnet.Frame) {
 	d.port.Send(frame)
 }
 
-// txLoop is the device's send pipeline: it round-robins across QPs with
+// txService is the device's send pipeline: it round-robins across QPs with
 // pending work, emitting one packet per turn. The per-packet pipeline
 // occupancy (or the wire time, whichever is larger) bounds both the
 // message rate and the emitted bandwidth; QP-fair round-robin yields the
 // equal sharing seen in Fig. 11.
-func (d *Device) txLoop(p *simtime.Proc) {
+//
+// The pipeline is a callback state machine running inline in the engine
+// loop: txService claims the pipeline for one packet's occupancy, and
+// txPktDone emits the packet and takes the next scheduled QP. Skipped QPs
+// (no work, paused, rate-limited) are drained without leaving the current
+// event.
+func (d *Device) txService(qp *QP) {
 	for {
-		qp := d.txActive.Get(p)
-		qp.scheduled = false
-		if !qp.state.canTransmit() || !qp.hasWork() {
-			continue
+		if d.txStep(qp) {
+			return // pipeline busy; txPktDone continues
 		}
-		now := p.Now()
-		if qp.pausedUntil > now {
-			qp.kickAt(qp.pausedUntil)
-			continue
-		}
-		if lim := qp.fn.limiter; lim != nil {
-			est := qp.peekNextPacketSize()
-			if allowed, wait := lim.tryTake(now, float64(est*8)); !allowed {
-				qp.kickAt(now.Add(wait))
-				continue
-			}
-		}
-		frame, bytes, ok := qp.buildNextPacket()
+		var ok bool
+		qp, ok = d.txActive.TryGet()
 		if !ok {
-			continue
+			d.txActive.OnNext(d.txServe)
+			return
 		}
-		occ := d.P.TxOccupancy + d.ctxLookup(qp.Num)
-		if qp.fn.IOMMU {
-			occ += d.P.IOMMUOccupancy
-		}
-		if wt := d.wireTime(bytes); wt > occ {
-			occ = wt
-		}
-		p.Sleep(occ)
-
-		lat := d.P.TxLatency
-		if qp.fn.IsVF() {
-			lat += d.P.VFDataPenalty
-		}
-		rem := lat - occ
-		if rem < 0 {
-			rem = 0
-		}
-		f, dip := frame, qp.currentDIP
-		d.eng.After(rem, func() {
-			d.Stats.TxPackets++
-			d.Stats.TxBytes += uint64(len(f))
-			d.emit(dip, f)
-		})
-		qp.armTimer()
-		qp.kick()
 	}
+}
+
+// txStep tries to start transmitting qp's next packet. It reports whether
+// the pipeline went busy (a continuation is scheduled).
+func (d *Device) txStep(qp *QP) bool {
+	qp.scheduled = false
+	if !qp.state.canTransmit() || !qp.hasWork() {
+		return false
+	}
+	now := d.eng.Now()
+	if qp.pausedUntil > now {
+		qp.kickAt(qp.pausedUntil)
+		return false
+	}
+	if lim := qp.fn.limiter; lim != nil {
+		est := qp.peekNextPacketSize()
+		if allowed, wait := lim.tryTake(now, float64(est*8)); !allowed {
+			qp.kickAt(now.Add(wait))
+			return false
+		}
+	}
+	frame, bytes, ok := qp.buildNextPacket()
+	if !ok {
+		return false
+	}
+	occ := d.P.TxOccupancy + d.ctxLookup(qp.Num)
+	if qp.fn.IOMMU {
+		occ += d.P.IOMMUOccupancy
+	}
+	if wt := d.wireTime(bytes); wt > occ {
+		occ = wt
+	}
+	d.txQP, d.txFrame, d.txOcc = qp, frame, occ
+	d.txPktDone.ScheduleAfter(occ)
+	return true
+}
+
+// txDone runs when the in-flight packet's pipeline occupancy elapses: the
+// frame leaves toward the wire after the remaining latency, the QP re-arms,
+// and the pipeline moves to the next scheduled QP.
+func (d *Device) txDone() {
+	qp, frame, occ := d.txQP, d.txFrame, d.txOcc
+	d.txQP, d.txFrame = nil, nil
+
+	lat := d.P.TxLatency
+	if qp.fn.IsVF() {
+		lat += d.P.VFDataPenalty
+	}
+	rem := lat - occ
+	if rem < 0 {
+		rem = 0
+	}
+	d.emitAfter(rem, qp.currentDIP, frame, true)
+	qp.armTimer()
+	qp.kick()
+
+	if next, ok := d.txActive.TryGet(); ok {
+		d.txService(next)
+		return
+	}
+	d.txActive.OnNext(d.txServe)
 }
 
 // buildNextPacket assembles the next wire frame for the QP's head WQE,
@@ -134,15 +164,21 @@ func (qp *QP) buildNextPacket() (simnet.Frame, int, bool) {
 	}
 
 	psn := qp.sndNxt
-	var layers []packet.Layer
 	var chunkLen int
+
+	// Assemble into the device's scratch encoder: slots 0-2 hold the
+	// Ethernet/IPv4/UDP headers (filled once the address vector is known),
+	// transport layers follow. Serialize copies everything out before the
+	// scratch is reused.
+	enc := &d.enc
+	layers := enc.layers[:3]
 
 	switch w.wr.Op {
 	case WRRead:
 		// One request packet; the PSN range covers the expected responses.
-		bth := &packet.BTH{OpCode: packet.OpReadRequest, DestQP: qp.AV.DQPN, PSN: psn, AckReq: true}
-		reth := &packet.RETH{VA: w.wr.RemoteAddr, RKey: w.wr.RKey, DMALen: uint32(w.wr.Len)}
-		layers = []packet.Layer{bth, reth}
+		enc.bth = packet.BTH{OpCode: packet.OpReadRequest, DestQP: qp.AV.DQPN, PSN: psn, AckReq: true}
+		enc.reth = packet.RETH{VA: w.wr.RemoteAddr, RKey: w.wr.RKey, DMALen: uint32(w.wr.Len)}
+		layers = append(layers, &enc.bth, &enc.reth)
 		qp.txOff = w.wr.Len // request fully issued
 		qp.sndNxt = (w.firstPSN + uint32(w.npkts)) & 0xffffff
 	case WRAtomicFAdd, WRAtomicCSwap:
@@ -150,9 +186,9 @@ func (qp *QP) buildNextPacket() (simnet.Frame, int, bool) {
 		if w.wr.Op == WRAtomicCSwap {
 			op = packet.OpCompareSwap
 		}
-		bth := &packet.BTH{OpCode: op, DestQP: qp.AV.DQPN, PSN: psn, AckReq: true}
-		ae := &packet.AtomicETH{VA: w.wr.RemoteAddr, RKey: w.wr.RKey, SwapAdd: w.wr.SwapAdd, Compare: w.wr.Compare}
-		layers = []packet.Layer{bth, ae}
+		enc.bth = packet.BTH{OpCode: op, DestQP: qp.AV.DQPN, PSN: psn, AckReq: true}
+		enc.ae = packet.AtomicETH{VA: w.wr.RemoteAddr, RKey: w.wr.RKey, SwapAdd: w.wr.SwapAdd, Compare: w.wr.Compare}
+		layers = append(layers, &enc.bth, &enc.ae)
 		qp.txOff = w.wr.Len
 		qp.sndNxt = (qp.sndNxt + 1) & 0xffffff
 	default:
@@ -165,7 +201,7 @@ func (qp *QP) buildNextPacket() (simnet.Frame, int, bool) {
 			if w.wr.InlineData != nil {
 				payload = w.wr.InlineData[qp.txOff : qp.txOff+chunkLen]
 			} else {
-				payload = make([]byte, chunkLen)
+				payload = enc.payloadBuf(chunkLen)
 				mr := d.mrs[w.wr.LKey]
 				if mr == nil || mr.PD != qp.PD || mr.dma(d.hostMem, w.wr.LocalAddr+uint64(qp.txOff), payload, false) != nil {
 					qp.enterError(WCRemoteOpErr)
@@ -179,19 +215,25 @@ func (qp *QP) buildNextPacket() (simnet.Frame, int, bool) {
 		// Request an ACK on the final packet and periodically inside long
 		// messages so the inflight window keeps draining.
 		ackReq := qp.Type == RC && (last || (qp.txOff/d.P.MTU)%ackEvery == ackEvery-1)
-		bth := &packet.BTH{OpCode: op, DestQP: qp.AV.DQPN, PSN: psn, AckReq: ackReq}
-		layers = []packet.Layer{bth}
+		enc.bth = packet.BTH{OpCode: op, DestQP: qp.AV.DQPN, PSN: psn, AckReq: ackReq}
+		layers = append(layers, &enc.bth)
 		if qp.Type == UD {
-			layers = append(layers, &packet.DETH{QKey: w.wr.QKey, SrcQP: qp.Num})
+			enc.deth = packet.DETH{QKey: w.wr.QKey, SrcQP: qp.Num}
+			layers = append(layers, &enc.deth)
 		}
 		if (w.wr.Op == WRWrite || w.wr.Op == WRWriteImm) && first {
-			layers = append(layers, &packet.RETH{VA: w.wr.RemoteAddr, RKey: w.wr.RKey, DMALen: uint32(w.wr.Len)})
+			enc.reth = packet.RETH{VA: w.wr.RemoteAddr, RKey: w.wr.RKey, DMALen: uint32(w.wr.Len)}
+			layers = append(layers, &enc.reth)
 		}
 		if op.HasImmediate() {
-			layers = append(layers, &packet.ImmDt{Value: w.wr.Imm})
+			enc.imm = packet.ImmDt{Value: w.wr.Imm}
+			layers = append(layers, &enc.imm)
 		}
 		if chunkLen > 0 {
-			layers = append(layers, packet.Payload(payload))
+			// *Payload avoids boxing the slice header per packet; Payload's
+			// value-receiver methods promote to the pointer.
+			enc.pay = packet.Payload(payload)
+			layers = append(layers, &enc.pay)
 		}
 		qp.txOff += chunkLen
 		qp.sndNxt = (qp.sndNxt + 1) & 0xffffff
@@ -220,12 +262,11 @@ func (qp *QP) buildNextPacket() (simnet.Frame, int, bool) {
 	}
 
 	qp.currentDIP = av.DIP
-	full := append([]packet.Layer{
-		&packet.Ethernet{Dst: av.DMAC, Src: qp.SrcMAC, EtherType: packet.EtherTypeIPv4},
-		&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: qp.SrcIP, Dst: av.DIP},
-		&packet.UDP{SrcPort: 49152 + uint16(qp.Num&0x3fff), DstPort: packet.PortRoCEv2},
-	}, layers...)
-	frame := packet.Serialize(full...)
+	enc.eth = packet.Ethernet{Dst: av.DMAC, Src: qp.SrcMAC, EtherType: packet.EtherTypeIPv4}
+	enc.ip = packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: qp.SrcIP, Dst: av.DIP}
+	enc.udp = packet.UDP{SrcPort: 49152 + uint16(qp.Num&0x3fff), DstPort: packet.PortRoCEv2}
+	layers[0], layers[1], layers[2] = &enc.eth, &enc.ip, &enc.udp
+	frame := packet.Serialize(layers...)
 	return simnet.Frame(frame), len(frame), true
 }
 
@@ -310,45 +351,80 @@ func rcOpcode(wr SendWR, typ QPType, first, last bool) packet.OpCode {
 	return packet.OpSendOnly
 }
 
-// rxLoop is the device's receive pipeline.
-func (d *Device) rxLoop(p *simtime.Proc) {
+// rxService is the device's receive pipeline, a callback state machine:
+// each packet occupies the pipeline for its processing occupancy, then
+// rxPktDone dispatches it to the transport handlers and takes the next
+// queued arrival. Malformed or unroutable packets are dropped inline
+// without occupying the pipeline, exactly as the process version did.
+func (d *Device) rxService(pkt *packet.Packet) {
 	for {
-		pkt := d.Ingress.Get(p)
-		bth := pkt.BTH()
-		if bth == nil {
-			d.Stats.Dropped++
-			continue
+		if d.rxStep(pkt) {
+			return // pipeline busy; rxPktDone continues
 		}
-		qp := d.qps[bth.DestQP]
-		if qp == nil {
-			d.Stats.Dropped++
-			continue
-		}
-		var occ simtime.Duration
-		if bth.OpCode == packet.OpAcknowledge {
-			occ = d.P.AckOccupancy // no DMA, no context fetch beyond the QPC
-		} else {
-			occ = d.P.RxOccupancy + d.ctxLookup(qp.Num)
-			if qp.fn.IOMMU {
-				occ += d.P.IOMMUOccupancy
-			}
-		}
-		p.Sleep(occ)
-		d.Stats.RxPackets++
-		d.Stats.RxBytes += uint64(len(pkt.Payload))
-
-		op := bth.OpCode
-		switch {
-		case op == packet.OpAcknowledge:
-			d.handleAck(qp, pkt)
-		case op == packet.OpAtomicAcknowledge:
-			d.handleAtomicAck(qp, pkt)
-		case op.IsReadResponse():
-			d.handleReadResponse(qp, pkt)
-		default:
-			d.handleRequest(p, qp, pkt)
+		var ok bool
+		pkt, ok = d.Ingress.TryGet()
+		if !ok {
+			d.Ingress.OnNext(d.rxServe)
+			return
 		}
 	}
+}
+
+// rxStep starts processing pkt, reporting whether the pipeline went busy.
+func (d *Device) rxStep(pkt *packet.Packet) bool {
+	bth := pkt.BTH()
+	if bth == nil {
+		d.Stats.Dropped++
+		pkt.Release()
+		return false
+	}
+	qp := d.qpLookup(bth.DestQP)
+	if qp == nil {
+		d.Stats.Dropped++
+		pkt.Release()
+		return false
+	}
+	var occ simtime.Duration
+	if bth.OpCode == packet.OpAcknowledge {
+		occ = d.P.AckOccupancy // no DMA, no context fetch beyond the QPC
+	} else {
+		occ = d.P.RxOccupancy + d.ctxLookup(qp.Num)
+		if qp.fn.IOMMU {
+			occ += d.P.IOMMUOccupancy
+		}
+	}
+	d.rxPkt, d.rxQP = pkt, qp
+	d.rxPktDone.ScheduleAfter(occ)
+	return true
+}
+
+// rxDone dispatches the packet whose pipeline occupancy just elapsed.
+func (d *Device) rxDone() {
+	pkt, qp := d.rxPkt, d.rxQP
+	d.rxPkt, d.rxQP = nil, nil
+	d.Stats.RxPackets++
+	d.Stats.RxBytes += uint64(len(pkt.Payload))
+
+	op := pkt.BTH().OpCode
+	switch {
+	case op == packet.OpAcknowledge:
+		d.handleAck(qp, pkt)
+	case op == packet.OpAtomicAcknowledge:
+		d.handleAtomicAck(qp, pkt)
+	case op.IsReadResponse():
+		d.handleReadResponse(qp, pkt)
+	default:
+		d.handleRequest(qp, pkt)
+	}
+	// Every handler copies what it keeps (payloads via DMA, header fields
+	// by value), so the packet's arena can be recycled here.
+	pkt.Release()
+
+	if next, ok := d.Ingress.TryGet(); ok {
+		d.rxService(next)
+		return
+	}
+	d.Ingress.OnNext(d.rxServe)
 }
 
 // rxLatency is the wire→memory latency for this QP's function.
@@ -374,18 +450,18 @@ func (d *Device) sendAck(qp *QP, syndrome byte, psn uint32) {
 			d.Stats.NAKsSent++
 		}
 	}
-	frame := packet.Serialize(
-		&packet.Ethernet{Dst: qp.AV.DMAC, Src: qp.SrcMAC, EtherType: packet.EtherTypeIPv4},
-		&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: qp.SrcIP, Dst: qp.AV.DIP},
-		&packet.UDP{SrcPort: 49152 + uint16(qp.Num&0x3fff), DstPort: packet.PortRoCEv2},
-		&packet.BTH{OpCode: packet.OpAcknowledge, DestQP: qp.AV.DQPN, PSN: psn},
-		&packet.AETH{Syndrome: syndrome, MSN: qp.msn},
-	)
-	d.eng.After(d.rxLatency(qp), func() { d.emit(qp.AV.DIP, simnet.Frame(frame)) })
+	enc := &d.enc
+	enc.eth = packet.Ethernet{Dst: qp.AV.DMAC, Src: qp.SrcMAC, EtherType: packet.EtherTypeIPv4}
+	enc.ip = packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: qp.SrcIP, Dst: qp.AV.DIP}
+	enc.udp = packet.UDP{SrcPort: 49152 + uint16(qp.Num&0x3fff), DstPort: packet.PortRoCEv2}
+	enc.bth = packet.BTH{OpCode: packet.OpAcknowledge, DestQP: qp.AV.DQPN, PSN: psn}
+	enc.aeth = packet.AETH{Syndrome: syndrome, MSN: qp.msn}
+	frame := packet.Serialize(&enc.eth, &enc.ip, &enc.udp, &enc.bth, &enc.aeth)
+	d.emitAfter(d.rxLatency(qp), qp.AV.DIP, simnet.Frame(frame), false)
 }
 
 // handleRequest is the responder path for SEND/WRITE/READ requests.
-func (d *Device) handleRequest(p *simtime.Proc, qp *QP, pkt *packet.Packet) {
+func (d *Device) handleRequest(qp *QP, pkt *packet.Packet) {
 	if !qp.state.canReceive() {
 		d.Stats.Dropped++ // Table 2: incoming packets dropped in ERROR
 		return
@@ -479,15 +555,15 @@ func (d *Device) handleAtomic(qp *QP, pkt *packet.Packet) {
 
 // sendAtomicAck emits the atomic response carrying the original value.
 func (d *Device) sendAtomicAck(qp *QP, psn uint32, orig uint64) {
-	frame := packet.Serialize(
-		&packet.Ethernet{Dst: qp.AV.DMAC, Src: qp.SrcMAC, EtherType: packet.EtherTypeIPv4},
-		&packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: qp.SrcIP, Dst: qp.AV.DIP},
-		&packet.UDP{SrcPort: 49152 + uint16(qp.Num&0x3fff), DstPort: packet.PortRoCEv2},
-		&packet.BTH{OpCode: packet.OpAtomicAcknowledge, DestQP: qp.AV.DQPN, PSN: psn},
-		&packet.AETH{Syndrome: packet.AckSyndromeACK, MSN: qp.msn},
-		&packet.AtomicAckETH{Orig: orig},
-	)
-	d.eng.After(d.rxLatency(qp), func() { d.emit(qp.AV.DIP, simnet.Frame(frame)) })
+	enc := &d.enc
+	enc.eth = packet.Ethernet{Dst: qp.AV.DMAC, Src: qp.SrcMAC, EtherType: packet.EtherTypeIPv4}
+	enc.ip = packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: qp.SrcIP, Dst: qp.AV.DIP}
+	enc.udp = packet.UDP{SrcPort: 49152 + uint16(qp.Num&0x3fff), DstPort: packet.PortRoCEv2}
+	enc.bth = packet.BTH{OpCode: packet.OpAtomicAcknowledge, DestQP: qp.AV.DQPN, PSN: psn}
+	enc.aeth = packet.AETH{Syndrome: packet.AckSyndromeACK, MSN: qp.msn}
+	enc.aaeth = packet.AtomicAckETH{Orig: orig}
+	frame := packet.Serialize(&enc.eth, &enc.ip, &enc.udp, &enc.bth, &enc.aeth, &enc.aaeth)
+	d.emitAfter(d.rxLatency(qp), qp.AV.DIP, simnet.Frame(frame), false)
 }
 
 // handleAtomicAck completes the requester's atomic WQE: the original value
@@ -508,7 +584,7 @@ func (d *Device) handleAtomicAck(qp *QP, pkt *packet.Packet) {
 			return
 		}
 	}
-	d.eng.After(d.P.AckProc, func() { qp.retire(bth.PSN) })
+	d.retireAfter(d.P.AckProc, qp, bth.PSN)
 }
 
 func (d *Device) handleSendChunk(qp *QP, pkt *packet.Packet) {
@@ -519,7 +595,8 @@ func (d *Device) handleSendChunk(qp *QP, pkt *packet.Packet) {
 			d.sendAck(qp, packet.AckSyndromeRNRNAK|1, (qp.expPSN-1)&0xffffff)
 			return
 		}
-		qp.curRecv = &recvCtx{wr: wr}
+		qp.rctx = recvCtx{wr: wr}
+		qp.curRecv = &qp.rctx
 	}
 	ctx := qp.curRecv
 	if len(pkt.Payload) > 0 {
@@ -568,7 +645,8 @@ func (d *Device) handleWriteChunk(qp *QP, pkt *packet.Packet) {
 			d.sendAck(qp, packet.AckSyndromeNAK|packet.NakRemoteAccessError, (qp.expPSN-1)&0xffffff)
 			return
 		}
-		qp.curWrite = &writeCtx{mr: mr, va: reth.VA}
+		qp.wctx = writeCtx{mr: mr, va: reth.VA}
+		qp.curWrite = &qp.wctx
 	}
 	ctx := qp.curWrite
 	if ctx == nil {
@@ -771,5 +849,5 @@ func (d *Device) handleAck(qp *QP, pkt *packet.Packet) {
 		qp.kickAt(qp.pausedUntil)
 		return
 	}
-	d.eng.After(d.P.AckProc, func() { qp.retire(bth.PSN) })
+	d.retireAfter(d.P.AckProc, qp, bth.PSN)
 }

@@ -319,6 +319,22 @@ func (cq *CQ) WaitTimeout(p *simtime.Proc, d simtime.Duration) (WC, bool) {
 // Len returns the number of pending completions.
 func (cq *CQ) Len() int { return cq.items.Len() }
 
+// OnComplete arms fn to receive the next completion inline in the engine
+// loop — the callback-style alternative to Wait. The delivery event fires at
+// the same instant a Put would wake a parked Wait, so switching a consumer
+// between the two styles does not change the event sequence. The caller is
+// responsible for charging PollCost (Wait's trailing Sleep) itself.
+func (cq *CQ) OnComplete(fn func(WC)) { cq.items.OnNext(fn) }
+
+// TryGet pops a completion without blocking and without charging any verb
+// cost; callback-style consumers pair it with OnComplete exactly as Wait
+// pairs its inline dequeue with parking.
+func (cq *CQ) TryGet() (WC, bool) { return cq.items.TryGet() }
+
+// PollCost returns the poll_cq verb cost, for callback-style consumers that
+// charge it with a timer instead of a process sleep.
+func (cq *CQ) PollCost() simtime.Duration { return cq.dev.pollCost() }
+
 // post delivers a completion, dropping it if the CQ is full (a CQ overflow
 // is a programming error on real hardware too).
 func (cq *CQ) post(wc WC) {

@@ -118,26 +118,85 @@ func Connect(eng *simtime.Engine, a, b *Port, bandwidth float64, prop simtime.Du
 	return l
 }
 
+// pump starts one direction of the link as a callback-driven pipeline: a
+// frame serializes for txTime at link rate, then propagates for PropDelay.
+// The serialization stage runs inline in the engine loop (no goroutine per
+// direction), and its state machine — one frame in serialization at a time,
+// the rest queued — matches the FIFO the process version modeled.
 func (l *Link) pump(eng *simtime.Engine, from, to *Port) {
-	q := simtime.NewQueue[Frame](eng)
-	from.tx = q.Put
-	eng.Spawn("link:"+from.Name+"->"+to.Name, func(p *simtime.Proc) {
-		for {
-			f := q.Get(p)
-			p.Sleep(l.txTime(len(f)))
-			if l.tap != nil {
-				l.tap.frames = append(l.tap.frames, TappedFrame{
-					TimeNanos: int64(p.Now()),
-					Data:      append([]byte(nil), f...),
-				})
-			}
-			if l.Drop != nil && l.Drop(f) {
-				continue
-			}
-			frame := f
-			eng.After(l.PropDelay, func() { to.deliver(frame) })
-		}
-	})
+	d := &linkDir{l: l, eng: eng, to: to, q: simtime.NewQueue[Frame](eng)}
+	from.tx = d.q.Put
+	d.serve = d.start
+	d.done = eng.NewTimer(d.txDone)
+	d.q.OnNext(d.serve)
+}
+
+// linkDir is one direction of a link's serialization pipeline.
+type linkDir struct {
+	l       *Link
+	eng     *simtime.Engine
+	to      *Port
+	q       *simtime.Queue[Frame]
+	serve   func(Frame)    // cached OnNext callback (avoids method-value allocs)
+	done    *simtime.Timer // fires when the in-flight frame finishes serializing
+	pending Frame
+	// propFree pools the in-flight propagation records (several frames can
+	// be on the wire at once; each record owns an intrusive timer).
+	propFree []*propJob
+}
+
+// propJob carries one frame across the link's propagation delay.
+type propJob struct {
+	d *linkDir
+	f Frame
+	t *simtime.Timer
+}
+
+func (d *linkDir) propagate(f Frame) {
+	var j *propJob
+	if n := len(d.propFree); n > 0 {
+		j = d.propFree[n-1]
+		d.propFree[n-1] = nil
+		d.propFree = d.propFree[:n-1]
+	} else {
+		j = &propJob{d: d}
+		j.t = d.eng.NewTimer(j.fire)
+	}
+	j.f = f
+	j.t.ScheduleAfter(d.l.PropDelay)
+}
+
+func (j *propJob) fire() {
+	f := j.f
+	j.f = nil
+	j.d.propFree = append(j.d.propFree, j)
+	j.d.to.deliver(f)
+}
+
+// start begins serializing f; txDone takes over when the wire time elapses.
+func (d *linkDir) start(f Frame) {
+	d.pending = f
+	d.done.ScheduleAfter(d.l.txTime(len(f)))
+}
+
+func (d *linkDir) txDone() {
+	f := d.pending
+	d.pending = nil
+	l := d.l
+	if l.tap != nil {
+		l.tap.frames = append(l.tap.frames, TappedFrame{
+			TimeNanos: int64(d.eng.Now()),
+			Data:      append([]byte(nil), f...),
+		})
+	}
+	if l.Drop == nil || !l.Drop(f) {
+		d.propagate(f)
+	}
+	if next, ok := d.q.TryGet(); ok {
+		d.start(next)
+		return
+	}
+	d.q.OnNext(d.serve)
 }
 
 func (l *Link) txTime(bytes int) simtime.Duration {
@@ -169,13 +228,39 @@ func (s *Switch) AttachPort(peer *Port, bandwidth float64, prop simtime.Duration
 	sp := NewPort(s.eng, s.Name+".p"+itoa(idx))
 	s.ports = append(s.ports, sp)
 	Connect(s.eng, sp, peer, bandwidth, prop)
-	s.eng.Spawn("switch:"+sp.Name, func(p *simtime.Proc) {
-		for {
-			f := sp.RX.Get(p)
-			p.Sleep(s.ForwardDelay)
-			s.forward(idx, f)
-		}
-	})
+	// Per-port forwarding runs as a callback pipeline: hold each frame for
+	// the fixed lookup delay, then forward; arrivals during the delay queue
+	// on the port.
+	fw := &switchPort{s: s, in: idx, rx: sp.RX}
+	fw.serve = fw.start
+	fw.done = s.eng.NewTimer(fw.fwdDone)
+	sp.RX.OnNext(fw.serve)
+}
+
+// switchPort is one switch port's store-and-forward state machine.
+type switchPort struct {
+	s       *Switch
+	in      int
+	rx      *simtime.Queue[Frame]
+	serve   func(Frame)
+	done    *simtime.Timer
+	pending Frame
+}
+
+func (f *switchPort) start(fr Frame) {
+	f.pending = fr
+	f.done.ScheduleAfter(f.s.ForwardDelay)
+}
+
+func (f *switchPort) fwdDone() {
+	fr := f.pending
+	f.pending = nil
+	f.s.forward(f.in, fr)
+	if next, ok := f.rx.TryGet(); ok {
+		f.start(next)
+		return
+	}
+	f.rx.OnNext(f.serve)
 }
 
 func (s *Switch) forward(in int, f Frame) {

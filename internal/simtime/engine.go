@@ -12,7 +12,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -71,30 +70,87 @@ func (t Time) String() string { return Duration(t).String() }
 
 // event is a scheduled engine action: either waking a process or running an
 // inline callback.
+//
+// Events come in two flavors. Pooled events are owned by the engine: they
+// are drawn from a free list in schedule and recycled when they fire, so
+// steady-state scheduling allocates nothing. Intrusive events are embedded
+// in a long-lived owner (a Proc's wake event, a Queue's delivery event, a
+// Timer) and carry a reusable fn, making their whole schedule→fire cycle
+// allocation-free.
 type event struct {
-	at  Time
-	seq uint64 // tie-break so equal-time events run in schedule order
-	fn  func() // runs inline in the engine loop; must not block
+	at     Time
+	seq    uint64 // tie-break so equal-time events run in schedule order
+	fn     func() // runs inline in the engine loop; must not block
+	pooled bool   // engine-owned: recycle onto the free list after firing
+	inHeap bool   // double-schedule guard for intrusive events
 }
 
+// eventQueue is a 4-ary min-heap over (at, seq). Because seq is unique,
+// the ordering is a strict total order and the minimum is always unique, so
+// the pop sequence — and therefore the simulation — is independent of heap
+// shape and arity. The 4-ary layout halves the tree depth of a binary heap
+// and the hand-rolled sift loops (hole-based, no interface dispatch, no
+// swaps) take heap maintenance off the hot-path profile.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether a orders strictly before b.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+func (e *Engine) pushEvent(ev *event) {
+	q := append(e.pq, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := q[parent]
+		if !eventBefore(ev, p) {
+			break
+		}
+		q[i] = p
+		i = parent
+	}
+	q[i] = ev
+	e.pq = q
+}
+
+func (e *Engine) popEvent() *event {
+	q := e.pq
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	e.pq = q
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m, mc := c, q[c]
+			for j := c + 1; j < end; j++ {
+				if eventBefore(q[j], mc) {
+					m, mc = j, q[j]
+				}
+			}
+			if !eventBefore(mc, last) {
+				break
+			}
+			q[i] = mc
+			i = m
+		}
+		q[i] = last
+	}
+	return top
 }
 
 // Engine owns the virtual clock and the set of managed processes.
@@ -103,6 +159,8 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	pq      eventQueue
+	free    []*event // recycled pooled events
+	nevents uint64   // events dispatched (perf accounting)
 	procs   map[*Proc]struct{}
 	current *Proc
 	turn    chan struct{}
@@ -120,15 +178,40 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// schedule enqueues fn to run at time at (>= now).
-func (e *Engine) schedule(at Time, fn func()) *event {
+// Events returns the number of events the engine has dispatched so far.
+// It is the denominator of the events-per-second wall-clock figure the
+// benchmark harness tracks across revisions.
+func (e *Engine) Events() uint64 { return e.nevents }
+
+// schedule enqueues fn to run at time at (>= now) on a pooled event.
+func (e *Engine) schedule(at Time, fn func()) {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{pooled: true}
+	}
+	ev.fn = fn
+	e.scheduleEvent(ev, at)
+}
+
+// scheduleEvent enqueues ev (whose fn is already set) to fire at time at
+// (>= now). For intrusive events this is the allocation-free scheduling
+// path; an event may only be in the heap once, so rescheduling before the
+// previous firing is a bug the guard below turns into a panic.
+func (e *Engine) scheduleEvent(ev *event, at Time) {
+	if ev.inHeap {
+		panic("simtime: event scheduled twice")
+	}
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.pq, ev)
-	return ev
+	ev.at, ev.seq = at, e.seq
+	ev.inHeap = true
+	e.pushEvent(ev)
 }
 
 // At schedules fn to run inline at virtual time at. fn must not block; to
@@ -145,6 +228,11 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	// wakeEv is the proc's intrusive wake event. A parked proc has exactly
+	// one pending wakeup, so a single pre-allocated event (with a reusable
+	// resume closure) makes Sleep and every queue/event/resource wakeup
+	// allocation-free in steady state.
+	wakeEv event
 }
 
 // Name returns the name the process was spawned with.
@@ -160,6 +248,7 @@ func (p *Proc) Now() Time { return p.eng.now }
 // (after already-scheduled events for this instant).
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p.wakeEv.fn = func() { e.runProc(p) }
 	e.procs[p] = struct{}{}
 	e.schedule(e.now, func() {
 		go func() {
@@ -194,9 +283,10 @@ func (p *Proc) block() {
 	<-p.resume
 }
 
-// wake schedules p to resume at time at.
+// wake schedules p to resume at time at, reusing the proc's intrusive wake
+// event — no allocation.
 func (e *Engine) wake(p *Proc, at Time) {
-	e.schedule(at, func() { e.runProc(p) })
+	e.scheduleEvent(&p.wakeEv, at)
 }
 
 // Sleep suspends the process for d of virtual time.
@@ -222,18 +312,27 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
 // RunUntil executes events with timestamps <= deadline and then stops,
 // leaving later events queued. It returns the virtual time when it stopped.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for !e.stopped && e.pq.Len() > 0 {
+	for !e.stopped && len(e.pq) > 0 {
 		ev := e.pq[0]
 		if ev.at > deadline {
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.pq)
-		if ev.fn == nil {
+		e.popEvent()
+		ev.inHeap = false
+		fn := ev.fn
+		// Recycle pooled events (and clear intrusive ones) before running
+		// fn, so the callback may immediately reschedule.
+		if ev.pooled {
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
+		if fn == nil {
 			continue // cancelled
 		}
 		e.now = ev.at
-		ev.fn()
+		e.nevents++
+		fn()
 	}
 	return e.now
 }
@@ -244,6 +343,34 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
+
+// Timer is a re-armable one-shot callback with a pre-allocated event, the
+// allocation-free alternative to Engine.After for components that arm the
+// same deadline logic over and over (retransmission timers, periodic
+// service). The zero value is not usable; call NewTimer. A Timer may only
+// have one pending firing: re-arming while Pending panics, so owners keep
+// their own state machine honest.
+type Timer struct {
+	eng *Engine
+	ev  event
+}
+
+// NewTimer returns a timer that runs fn inline in the engine loop each time
+// it fires. fn must not block.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	t := &Timer{eng: e}
+	t.ev.fn = fn
+	return t
+}
+
+// ScheduleAt arms the timer to fire at virtual time at (>= now).
+func (t *Timer) ScheduleAt(at Time) { t.eng.scheduleEvent(&t.ev, at) }
+
+// ScheduleAfter arms the timer to fire d after the current time.
+func (t *Timer) ScheduleAfter(d Duration) { t.ScheduleAt(t.eng.now.Add(d)) }
+
+// Pending reports whether the timer is armed and has not fired yet.
+func (t *Timer) Pending() bool { return t.ev.inHeap }
 
 // PendingProcs returns the names of processes that have been spawned but
 // have not finished, sorted. Useful in tests for deadlock diagnosis.

@@ -158,6 +158,37 @@ type CQ interface {
 	Destroy(p *simtime.Proc) error
 }
 
+// AsyncCQ is an optional CQ capability: providers whose completion path is
+// a direct mapping of the RNIC's CQ ring (no per-poll relay through another
+// process) expose the completion stream for callback-style consumption.
+// The contract mirrors Wait exactly — TryGet is Wait's inline dequeue,
+// OnComplete is Wait's park (the delivery fires at the same instant a
+// completion would wake the parked process), and the consumer charges
+// PollCost itself where Wait would Sleep it — so an application loop
+// converted to this interface replays the identical event sequence.
+type AsyncCQ interface {
+	CQ
+	// OnComplete arms fn as a one-shot callback for the next completion.
+	OnComplete(fn func(WC))
+	// TryGet pops a completion without blocking and without verb cost.
+	TryGet() (WC, bool)
+	// PollCost is the poll_cq cost the consumer must charge per completion.
+	PollCost() simtime.Duration
+}
+
+// AsyncQP is the matching QP capability for callback-style posting on the
+// data path: the caller charges PostSendCost with a timer and then calls
+// PostSendAsync, replacing PostSend's leading Sleep with an equivalent
+// scheduled charge. Providers that relay post_send through another process
+// (e.g. the FreeFlow router) must not implement it.
+type AsyncQP interface {
+	QP
+	// PostSendCost is the post_send verb cost to charge before posting.
+	PostSendCost() simtime.Duration
+	// PostSendAsync posts wr after the caller has charged PostSendCost.
+	PostSendAsync(wr SendWR) error
+}
+
 // QP is a queue-pair handle.
 type QP interface {
 	// Num returns the QP number (exchanged out of band).
