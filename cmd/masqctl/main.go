@@ -18,10 +18,15 @@ import (
 
 func main() {
 	kill := flag.Bool("kill", true, "revoke a rule at the end to show RConntrack enforcement")
+	doChaos := flag.Bool("chaos", true, "inject a link outage and a VM crash at the end and dump fault counters")
 	flag.Parse()
 
 	cfg := masq.DefaultConfig()
 	cfg.Trace = true // collect per-verb layer attribution while the scenario runs
+	// Fast retry exhaustion so the chaos section's outage kills a QP in
+	// a few simulated milliseconds instead of tens.
+	cfg.RNIC.RetransTimeout = masq.Us(500)
+	cfg.RNIC.MaxRetry = 3
 	tb := masq.NewTestbed(cfg)
 	acme := tb.AddTenant(100, "acme")
 	globex := tb.AddTenant(200, "globex")
@@ -60,7 +65,7 @@ func main() {
 		return cep, sep
 	}
 	connect(a1, a2, 7000)
-	connect(g1, g2, 7001)
+	gep, gsep := connect(g1, g2, 7001)
 
 	fmt.Println("=== tenants ===")
 	for _, t := range []*masq.Tenant{acme, globex} {
@@ -133,6 +138,89 @@ func main() {
 				i, len(be.CT.Conns()), be.CT.Stats.Resets)
 		}
 		fmt.Println("globex's connections are untouched (different tenant policy)")
+	}
+
+	if *doChaos {
+		fmt.Println("\n=== chaos: link outage, then a VM crash ===")
+		// Cut host0's wire long enough to exhaust the transport's
+		// retries: globex's client QP dies, and the guest sees the full
+		// async-event sequence (port down, QP fatal, port up).
+		now := tb.Eng.Now()
+		tb.Chaos.Arm(masq.ChaosPlan{Events: masq.ChaosOutage(tb.HostLink(0),
+			now.Add(masq.Ms(1)), now.Add(masq.Ms(6)))})
+		var guestEvents []masq.AsyncEvent
+		tb.Eng.Spawn("guest-watcher", func(p *masq.Proc) {
+			aev, ok := masq.AsAsync(gep.Dev)
+			if !ok {
+				return
+			}
+			for {
+				ev, ok := aev.GetAsyncEventTimeout(p, masq.Ms(20))
+				if !ok {
+					return
+				}
+				guestEvents = append(guestEvents, ev)
+			}
+		})
+		sent, failed := 0, 0
+		tb.Eng.Spawn("g1-writer", func(p *masq.Proc) {
+			peer := gsep.Info()
+			for i := 0; ; i++ {
+				if err := gep.QP.PostSend(p, masq.SendWR{
+					WRID: uint64(i), Op: masq.WRWrite, LocalAddr: gep.Buf,
+					LKey: gep.MR.LKey(), Len: 4096, RemoteAddr: peer.Addr, RKey: peer.RKey,
+				}); err != nil {
+					return
+				}
+				wc, ok := gep.SCQ.WaitTimeout(p, masq.Ms(100))
+				if !ok || wc.Status != masq.WCSuccess {
+					failed++
+					return
+				}
+				sent++
+			}
+		})
+		tb.Eng.Run()
+		fmt.Printf("g1 writer: %d writes completed, then %d failed when retries exhausted\n", sent, failed)
+		fmt.Println("g1 guest async events (via ibv_get_async_event):")
+		for _, ev := range guestEvents {
+			fmt.Printf("  %v\n", ev)
+		}
+
+		// Now kill g2's VM outright: its host backend flushes the RCT
+		// and MRs and the controller unmaps the tenant endpoint — the
+		// surviving peer is told nothing (it would discover the death by
+		// retry exhaustion, exactly like the outage above).
+		before := len(tb.Ctrl.Dump(200))
+		if err := tb.CrashNode(g2); err != nil {
+			panic(err)
+		}
+		tb.Eng.Run()
+		fmt.Printf("crashed g2: controller VNI-200 mappings %d -> %d\n", before, len(tb.Ctrl.Dump(200)))
+
+		fmt.Println("\n=== fault & recovery counters ===")
+		fmt.Printf("injector: %d link transitions, %d loss windows, %d switch transitions, %d crashes\n",
+			tb.Chaos.Stats.LinkTransitions, tb.Chaos.Stats.LossWindows,
+			tb.Chaos.Stats.SwitchTransitions, tb.Chaos.Stats.Crashes)
+		for _, line := range tb.Chaos.Trace() {
+			fmt.Printf("  trace: %s\n", line)
+		}
+		for i, l := range tb.Links {
+			st := l.Stats
+			fmt.Printf("link%d: %d delivered, %d dropped (%d link-down, %d loss-model, %d hook)\n",
+				i, st.Delivered, st.Dropped, st.DroppedDown, st.DroppedLoss, st.DroppedHook)
+		}
+		for i := range tb.Hosts {
+			be := tb.Backend(i)
+			fmt.Printf("host%d: %d device async events; backend: %d QP fatals, %d async cleanups, %d VM crashes\n",
+				i, tb.Hosts[i].Dev.Stats.AsyncEvents,
+				be.Stats.FatalEvents, be.Stats.AsyncCleanups, be.Stats.Crashes)
+		}
+		for _, n := range []*cluster.Node{a1, a2, g1, g2} {
+			st := n.OOB.Stats
+			fmt.Printf("oob %-3s: %d SYN retx, %d DATA retx, %d dup DATA, %d resets\n",
+				n.Name, st.SynRetx, st.DataRetx, st.DupData, st.Resets)
+		}
 	}
 }
 

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"masq/internal/apps/reconnect"
 	"masq/internal/cluster"
+	"masq/internal/packet"
 	"masq/internal/simtime"
 	"masq/internal/verbs"
 )
@@ -109,13 +111,13 @@ func Run(tb *cluster.Testbed, server *cluster.Node, client *cluster.Node, nClien
 		}
 	}
 
-	// Server resources: one device/PD/MR; per worker a CQ + SRQ; one QP
-	// per client connection attached to its worker's pool.
-	type cliConn struct {
-		ep     *cluster.Endpoint
-		worker int
-	}
-	conns := make([]*cliConn, nClients)
+	// Server resources: one device/PD/MR; per worker a CQ + SRQ. Client
+	// connections are wired below, over the tenant's out-of-band channel.
+	var (
+		sdev verbs.Device
+		spd  verbs.PD
+		sgid packet.GID
+	)
 	wireup := simtime.NewEvent[error](tb.Eng)
 	tb.Eng.Spawn("kvs-wireup", func(p *simtime.Proc) {
 		dev, err := server.Device(p)
@@ -162,51 +164,25 @@ func Run(tb *cluster.Testbed, server *cluster.Node, client *cluster.Node, nClien
 				})
 			}
 		}
-		// Client endpoints + server QPs.
-		epOpts := cluster.EndpointOpts{
-			BufLen: 64 * 1024, Access: verbs.AccessLocalWrite, Type: verbs.RC,
-			CQE: 256, Caps: verbs.QPCaps{MaxSendWR: 64, MaxRecvWR: 64},
-			SharedCQ: true,
-		}
-		for i := range conns {
-			w := i % cfg.Workers
-			wk := workers[w]
-			cep, err := client.Setup(p, epOpts)
-			if err != nil {
-				wireup.Trigger(err)
-				return
-			}
-			caps := verbs.QPCaps{MaxSendWR: 64, SRQ: wk.srq.Raw()}
-			sqp, err := dev.CreateQP(p, pd, wk.cq, wk.cq, verbs.RC, caps)
-			if err != nil {
-				wireup.Trigger(err)
-				return
-			}
-			if err := cep.ConnectRC(p, verbs.ConnInfo{GID: gid, QPN: sqp.Num()}); err != nil {
-				wireup.Trigger(err)
-				return
-			}
-			if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateInit}); err != nil {
-				wireup.Trigger(err)
-				return
-			}
-			if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateRTR, DGID: cep.GID, DQPN: cep.QP.Num()}); err != nil {
-				wireup.Trigger(err)
-				return
-			}
-			if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateRTS}); err != nil {
-				wireup.Trigger(err)
-				return
-			}
-			wk.qps[sqp.Num()] = sqp
-			conns[i] = &cliConn{ep: cep, worker: w}
-		}
+		sdev, spd, sgid = dev, pd, gid
 		wireup.Trigger(nil)
 	})
 	tb.Eng.Run()
 	if !wireup.Triggered() || wireup.Value() != nil {
 		return Result{}, fmt.Errorf("kvs: wire-up failed: %v", wireup.Value())
 	}
+
+	// Connection wire-up travels the out-of-band channel: client i dials
+	// port basePort+i with reconnect's bounded-retry helper; the server
+	// answers each port with a worker-pool QP and walks it to RTS against
+	// the client info from the exchange.
+	const basePort uint16 = 7200
+	epOpts := cluster.EndpointOpts{
+		BufLen: 64 * 1024, Access: verbs.AccessLocalWrite, Type: verbs.RC,
+		CQE: 256, Caps: verbs.QPCaps{MaxSendWR: 64, MaxRecvWR: 64},
+		SharedCQ: true,
+	}
+	pol := reconnect.Policy{MaxAttempts: 20, DialTimeout: simtime.Ms(50)}
 
 	var totalOps, hits int
 	var firstStart, lastEnd simtime.Time
@@ -262,13 +238,66 @@ func Run(tb *cluster.Testbed, server *cluster.Node, client *cluster.Node, nClien
 		})
 	}
 
-	// Clients: pipelined request windows.
+	// Server accept side: one proc per expected client, so the listeners
+	// are all bound up front and dials succeed on the first SYN.
+	for i := 0; i < nClients; i++ {
+		i := i
+		wk := workers[i%cfg.Workers]
+		tb.Eng.Spawn(fmt.Sprintf("kvs-accept-%d", i), func(p *simtime.Proc) {
+			caps := verbs.QPCaps{MaxSendWR: 64, SRQ: wk.srq.Raw()}
+			sqp, err := sdev.CreateQP(p, spd, wk.cq, wk.cq, verbs.RC, caps)
+			if err != nil {
+				runErr = err
+				return
+			}
+			err = reconnect.ServeOne(p, server.OOB, basePort+uint16(i), simtime.Ms(500),
+				func(p *simtime.Proc, peer verbs.ConnInfo) (verbs.ConnInfo, error) {
+					if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateInit}); err != nil {
+						return verbs.ConnInfo{}, err
+					}
+					if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateRTR, DGID: peer.GID, DQPN: peer.QPN}); err != nil {
+						return verbs.ConnInfo{}, err
+					}
+					if err := sqp.Modify(p, verbs.Attr{ToState: verbs.StateRTS}); err != nil {
+						return verbs.ConnInfo{}, err
+					}
+					wk.qps[sqp.Num()] = sqp
+					return verbs.ConnInfo{GID: sgid, QPN: sqp.Num()}, nil
+				})
+			if err != nil {
+				runErr = err
+				return
+			}
+		})
+	}
+
+	// Clients: pipelined request windows. Connection setup times differ per
+	// client (ring contention, out-of-band retries), so a barrier separates
+	// wire-up from the measured phase: everyone starts issuing together.
 	remaining := nClients
-	for i, cn := range conns {
-		i, cn := i, cn
-		w := cn.worker
+	connected := 0
+	goEv := simtime.NewEvent[struct{}](tb.Eng)
+	for i := 0; i < nClients; i++ {
+		i := i
+		w := i % cfg.Workers
 		tb.Eng.Spawn(fmt.Sprintf("kvs-cli-%d", i), func(p *simtime.Proc) {
-			cep := cn.ep
+			cep, _, _, err := reconnect.Connect(p, client, server.VIP, basePort+uint16(i), epOpts, pol)
+			if err != nil {
+				runErr = err
+			}
+			connected++
+			if connected == nClients {
+				goEv.Trigger(struct{}{})
+			} else {
+				goEv.Wait(p)
+			}
+			if err != nil || runErr != nil {
+				remaining--
+				if remaining == 0 {
+					finished.Trigger(runErr)
+				}
+				return
+			}
 			crng := rand.New(rand.NewSource(cfg.Seed + int64(i) + 1))
 			const window = 4
 			cliSlot := 64 * 1024 / (window + 2)

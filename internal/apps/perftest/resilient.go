@@ -1,0 +1,125 @@
+package perftest
+
+import (
+	"masq/internal/apps/reconnect"
+	"masq/internal/cluster"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+)
+
+// ResilientResult is a timed bandwidth run under faults: the goodput the
+// client actually completed, plus how often the connection died and came
+// back.
+type ResilientResult struct {
+	ThroughputResult
+	Fatals     int // QP-fatal events the client observed (retry exhaustion)
+	Reconnects int // connections re-established after a fatal
+	GaveUp     bool
+}
+
+// StartResilientWriteBW streams one-sided writes from client to server for
+// dur, surviving connection death. When the transport exhausts its retries
+// (link cut, burst loss, crashed peer) the QP goes fatal: the client sees
+// the error completion, confirms the QP-fatal async event, tears the
+// endpoint down, and rebuilds the connection through reconnect.Connect —
+// fresh endpoints on both sides, out-of-band exchange with backoff. Goodput
+// counts only acknowledged writes, so fault windows show up as lost
+// bandwidth, not as corruption.
+func StartResilientWriteBW(tb *cluster.Testbed, client, server *cluster.Node, port uint16, size int, dur simtime.Duration, pol reconnect.Policy) *simtime.Event[ResilientResult] {
+	eng := tb.Eng
+	done := simtime.NewEvent[ResilientResult](eng)
+	const window = 16
+	opts := cluster.DefaultEndpointOpts()
+
+	// The server is passive for one-sided writes: each epoch just needs a
+	// registered buffer and an RTS QP, so the handler returns immediately
+	// and Serve re-accepts. Idle long enough to outlive any client backoff.
+	serverPol := pol
+	serverPol.IdleTimeout = dur
+	eng.Spawn("resilient_write_bw.server", func(p *simtime.Proc) {
+		_, _ = reconnect.Serve(p, server, port, opts, serverPol,
+			func(p *simtime.Proc, ep *cluster.Endpoint, peer verbs.ConnInfo) error { return nil })
+	})
+
+	eng.Spawn("resilient_write_bw.client", func(p *simtime.Proc) {
+		var res ResilientResult
+		start := p.Now()
+		deadline := start.Add(dur)
+		first := true
+		var ep *cluster.Endpoint
+		for p.Now() < deadline {
+			e, peer, _, err := reconnect.Connect(p, client, server.VIP, port, opts, pol)
+			if err != nil {
+				res.GaveUp = true // blackout longer than the policy's budget
+				break
+			}
+			if !first {
+				res.Reconnects++
+			}
+			first = false
+			ep = e
+			posted := 0
+			post := func() bool {
+				err := ep.QP.PostSend(p, verbs.SendWR{
+					WRID: uint64(posted), Op: verbs.WRWrite,
+					LocalAddr: ep.Buf, LKey: ep.MR.LKey(), Len: size,
+					RemoteAddr: peer.Addr, RKey: peer.RKey,
+				})
+				if err != nil {
+					return false
+				}
+				posted++
+				return true
+			}
+			for posted < window && post() {
+			}
+			dead := false
+			for p.Now() < deadline {
+				wc, ok := ep.SCQ.WaitTimeout(p, deadline.Sub(p.Now()))
+				if !ok {
+					break // deadline passed with writes still in flight
+				}
+				if wc.Status != verbs.WCSuccess {
+					dead = true
+					break
+				}
+				res.Msgs++
+				res.Bytes += int64(size)
+				if p.Now() < deadline {
+					post()
+				}
+			}
+			if !dead {
+				break
+			}
+			// Confirm the fatal on the async channel (ibv_get_async_event):
+			// port flaps may be queued ahead of it.
+			if aev, ok := verbs.AsAsync(ep.Dev); ok {
+				for {
+					ev, ok := aev.GetAsyncEventTimeout(p, simtime.Ms(1))
+					if !ok {
+						break
+					}
+					if ev.Type == verbs.EventQPFatal {
+						res.Fatals++
+						break
+					}
+				}
+			}
+			// Drain the flush completions before rebuilding.
+			for {
+				if _, ok := ep.SCQ.TryPoll(p); !ok {
+					break
+				}
+			}
+			ep.Close(p)
+			ep = nil
+		}
+		if ep != nil {
+			ep.Close(p)
+		}
+		res.Elapsed = p.Now().Sub(start)
+		done.Trigger(res)
+	})
+	return done
+}

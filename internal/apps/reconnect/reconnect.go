@@ -1,0 +1,189 @@
+// Package reconnect is the application-side tail of the failure-reaction
+// chain. The layers below it turn faults into signals — retry exhaustion
+// becomes a QP-fatal completion and async event, a crashed peer becomes a
+// dead out-of-band channel — and this package turns those signals back into
+// a working connection: a fresh endpoint, an out-of-band exchange with
+// bounded retries and exponential backoff, and a QP walked back to RTS.
+// perftest's resilient bandwidth runner and the kvs wire-up build on it;
+// the chaos soak exercises both.
+package reconnect
+
+import (
+	"fmt"
+
+	"masq/internal/cluster"
+	ooblib "masq/internal/oob"
+	"masq/internal/packet"
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+)
+
+// Policy bounds a reconnect loop.
+type Policy struct {
+	MaxAttempts int              // connection attempts before giving up
+	Backoff     simtime.Duration // initial inter-attempt backoff (doubles)
+	MaxBackoff  simtime.Duration // backoff ceiling
+	DialTimeout simtime.Duration // per-attempt out-of-band budget
+	IdleTimeout simtime.Duration // Serve: give up waiting for the next epoch
+}
+
+// DefaultPolicy tolerates fault windows a few times the transport's retry
+// horizon without giving up prematurely.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 10,
+		Backoff:     simtime.Ms(1),
+		MaxBackoff:  simtime.Ms(50),
+		DialTimeout: simtime.Ms(20),
+		IdleTimeout: simtime.Ms(200),
+	}
+}
+
+func (pol Policy) withDefaults() Policy {
+	def := DefaultPolicy()
+	if pol.MaxAttempts == 0 {
+		pol.MaxAttempts = def.MaxAttempts
+	}
+	if pol.Backoff == 0 {
+		pol.Backoff = def.Backoff
+	}
+	if pol.MaxBackoff == 0 {
+		pol.MaxBackoff = def.MaxBackoff
+	}
+	if pol.DialTimeout == 0 {
+		pol.DialTimeout = def.DialTimeout
+	}
+	if pol.IdleTimeout == 0 {
+		pol.IdleTimeout = def.IdleTimeout
+	}
+	return pol
+}
+
+// Connect establishes (or re-establishes) an RC connection from n to the
+// server listening on port: per attempt it builds a fresh endpoint, swaps
+// ConnInfo out of band, and walks the QP to RTS; on failure the endpoint is
+// torn down and the next attempt waits an exponentially growing backoff.
+// It returns the connected endpoint, the peer's info, and the number of
+// attempts used (1 = first try succeeded).
+func Connect(p *simtime.Proc, n *cluster.Node, server packet.IP, port uint16, opts cluster.EndpointOpts, pol Policy) (*cluster.Endpoint, verbs.ConnInfo, int, error) {
+	pol = pol.withDefaults()
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		ep, err := n.Setup(p, opts)
+		if err != nil {
+			// Resource exhaustion is not transient; retrying won't help.
+			return nil, verbs.ConnInfo{}, attempt, err
+		}
+		peer, err := ep.ExchangeClient(p, server, port, pol.DialTimeout)
+		if err == nil {
+			if err = ep.ConnectRC(p, peer); err == nil {
+				return ep, peer, attempt, nil
+			}
+		}
+		lastErr = err
+		ep.Close(p)
+		if attempt < pol.MaxAttempts {
+			p.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+	}
+	return nil, verbs.ConnInfo{}, pol.MaxAttempts,
+		fmt.Errorf("reconnect: no connection after %d attempts: %w", pol.MaxAttempts, lastErr)
+}
+
+// Serve accepts connection epochs on port until no client shows up within
+// IdleTimeout. Each accepted peer gets a fresh endpoint walked to RTS and
+// handed to handler, which runs the epoch; the previous epoch's endpoint is
+// torn down when the next one is accepted (by then its connection is
+// certainly dead) and the last one when Serve returns. handler must not
+// destroy the endpoint itself. Serve returns the number of epochs served.
+func Serve(p *simtime.Proc, n *cluster.Node, port uint16, opts cluster.EndpointOpts, pol Policy,
+	handler func(p *simtime.Proc, ep *cluster.Endpoint, peer verbs.ConnInfo) error) (int, error) {
+	pol = pol.withDefaults()
+	l, err := n.OOB.Listen(port)
+	if err != nil {
+		return 0, err
+	}
+	epochs := 0
+	var prev *cluster.Endpoint
+	defer func() {
+		if prev != nil {
+			prev.Close(p)
+		}
+	}()
+	for {
+		conn, ok := l.AcceptTimeout(p, pol.IdleTimeout)
+		if !ok {
+			return epochs, nil
+		}
+		ep, err := n.Setup(p, opts)
+		if err != nil {
+			conn.Close()
+			return epochs, err
+		}
+		// Receive the peer's info, reach RTS, and only then reply: the
+		// client's first message must never race our QP walk.
+		peer, err := recvPeerInfo(p, conn, pol.DialTimeout)
+		if err == nil {
+			if err = ep.ConnectRC(p, peer); err == nil {
+				err = conn.Send(p, cluster.MarshalConnInfo(ep.Info()))
+			}
+		}
+		conn.Close()
+		if err != nil {
+			// A half-open dial: the client gave up (or died) mid-exchange.
+			ep.Close(p)
+			continue
+		}
+		if prev != nil {
+			prev.Close(p)
+		}
+		prev = ep
+		epochs++
+		if err := handler(p, ep, peer); err != nil {
+			return epochs, err
+		}
+	}
+}
+
+// ServeOne accepts a single peer on port and swaps ConnInfo over the
+// accepted connection. It is the server-side exchange for applications
+// whose local resources are not a cluster.Endpoint (the kvs worker pools):
+// accept receives the peer's info, must bring the local QP all the way to
+// RTS, and returns the local info to send back — the reply is the client's
+// signal that the server side is ready, so its first message can never race
+// the server's QP walk.
+func ServeOne(p *simtime.Proc, st *ooblib.Stack, port uint16, timeout simtime.Duration,
+	accept func(p *simtime.Proc, peer verbs.ConnInfo) (verbs.ConnInfo, error)) error {
+	l, err := st.Listen(port)
+	if err != nil {
+		return err
+	}
+	conn, ok := l.AcceptTimeout(p, timeout)
+	if !ok {
+		return fmt.Errorf("reconnect: no peer on port %d within %v", port, timeout)
+	}
+	defer conn.Close()
+	peer, err := recvPeerInfo(p, conn, timeout)
+	if err != nil {
+		return err
+	}
+	mine, err := accept(p, peer)
+	if err != nil {
+		return err
+	}
+	return conn.Send(p, cluster.MarshalConnInfo(mine))
+}
+
+// recvPeerInfo reads the client's ConnInfo off an accepted connection.
+func recvPeerInfo(p *simtime.Proc, conn *ooblib.Conn, timeout simtime.Duration) (verbs.ConnInfo, error) {
+	msg, err := conn.RecvTimeout(p, timeout)
+	if err != nil {
+		return verbs.ConnInfo{}, err
+	}
+	return cluster.UnmarshalConnInfo(msg)
+}

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig20", "fig21", "fig22", "fig23",
 		"abl-rename", "abl-cache", "abl-conntrack", "abl-qos",
 		"abl-virtio-batch", "abl-nic-cache", "abl-mtu", "abl-transport",
-		"abl-ctrl-faults", "abl-trace-overhead",
+		"abl-ctrl-faults", "abl-trace-overhead", "abl-chaos",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -1,0 +1,135 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"masq/internal/simnet"
+	"masq/internal/simtime"
+)
+
+func testLink(eng *simtime.Engine) *simnet.Link {
+	a := simnet.NewPort(eng, "a")
+	b := simnet.NewPort(eng, "b")
+	return simnet.Connect(eng, a, b, simnet.Gbps(40), 0)
+}
+
+func TestOutageWindowTogglesLink(t *testing.T) {
+	eng := simtime.NewEngine()
+	l := testLink(eng)
+	in := NewInjector(eng)
+	in.Arm(Plan{Events: Outage(l, simtime.Time(simtime.Us(10)), simtime.Time(simtime.Us(30)))})
+
+	var during, after bool
+	eng.At(simtime.Time(simtime.Us(20)), func() { during = l.IsDown() })
+	eng.At(simtime.Time(simtime.Us(40)), func() { after = l.IsDown() })
+	eng.Run()
+	if !during || after {
+		t.Fatalf("during=%v after=%v, want down then up", during, after)
+	}
+	if in.Stats.LinkTransitions != 2 {
+		t.Fatalf("transitions = %d, want 2", in.Stats.LinkTransitions)
+	}
+	if len(in.Trace()) != 2 {
+		t.Fatalf("trace = %v, want 2 entries", in.Trace())
+	}
+}
+
+func TestFlapCutsOncePerPeriod(t *testing.T) {
+	eng := simtime.NewEngine()
+	l := testLink(eng)
+	in := NewInjector(eng)
+	// 100µs window, 20µs period, 5µs down at the start of each: 5 cuts.
+	in.Arm(Plan{Events: []Event{Flap(l,
+		simtime.Time(0), simtime.Time(simtime.Us(100)), simtime.Us(20), simtime.Us(5))}})
+	eng.Run()
+	if in.Stats.LinkTransitions != 10 {
+		t.Fatalf("transitions = %d, want 10 (5 down + 5 up)", in.Stats.LinkTransitions)
+	}
+	if l.IsDown() {
+		t.Fatal("link left down after the flap window")
+	}
+}
+
+func TestOnLinkStateSeesEdgesOnly(t *testing.T) {
+	eng := simtime.NewEngine()
+	l := testLink(eng)
+	in := NewInjector(eng)
+	var edges []bool
+	in.OnLinkState = func(_ *simnet.Link, down bool) { edges = append(edges, down) }
+	// Two overlapping outages: the second down and first up are not edges.
+	in.Arm(Plan{Events: []Event{
+		{Kind: LinkDown, At: simtime.Time(simtime.Us(10)), Until: simtime.Time(simtime.Us(30)), Link: l},
+		{Kind: LinkDown, At: simtime.Time(simtime.Us(20)), Until: simtime.Time(simtime.Us(50)), Link: l},
+	}})
+	eng.Run()
+	if !reflect.DeepEqual(edges, []bool{true, false}) {
+		t.Fatalf("edges = %v, want [down up]", edges)
+	}
+}
+
+func TestLossWindowInstallsAndUninstalls(t *testing.T) {
+	eng := simtime.NewEngine()
+	l := testLink(eng)
+	in := NewInjector(eng)
+	in.Arm(Plan{Seed: 3, Events: []Event{
+		Loss(l, simtime.Time(simtime.Us(10)), simtime.Time(simtime.Us(30)), 0.5, 2)}})
+	var during, after bool
+	eng.At(simtime.Time(simtime.Us(20)), func() { during = l.Loss() != nil })
+	eng.At(simtime.Time(simtime.Us(40)), func() { after = l.Loss() != nil })
+	eng.Run()
+	if !during || after {
+		t.Fatalf("loss installed during=%v after=%v, want installed then removed", during, after)
+	}
+	if in.Stats.LossWindows != 1 {
+		t.Fatalf("loss windows = %d, want 1", in.Stats.LossWindows)
+	}
+}
+
+func TestNodeCrashFiresCallback(t *testing.T) {
+	eng := simtime.NewEngine()
+	in := NewInjector(eng)
+	var crashed []int
+	in.OnCrash = func(n int) { crashed = append(crashed, n) }
+	in.Arm(Plan{Events: []Event{Crash(2, simtime.Time(simtime.Us(5)))}})
+	eng.Run()
+	if !reflect.DeepEqual(crashed, []int{2}) || in.Stats.Crashes != 1 {
+		t.Fatalf("crashed = %v stats = %d", crashed, in.Stats.Crashes)
+	}
+}
+
+func TestRandomPlanIsPure(t *testing.T) {
+	eng := simtime.NewEngine()
+	links := []*simnet.Link{testLink(eng), testLink(eng)}
+	p1 := RandomPlan(42, links, simtime.Ms(10), 8, 0.2)
+	p2 := RandomPlan(42, links, simtime.Ms(10), 8, 0.2)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same-seed RandomPlan calls differ")
+	}
+	p3 := RandomPlan(43, links, simtime.Ms(10), 8, 0.2)
+	if reflect.DeepEqual(p1.Events, p3.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if len(p1.Events) < 8 {
+		t.Fatalf("plan has %d events, want >= 8", len(p1.Events))
+	}
+}
+
+func TestTraceBytesAreReproducible(t *testing.T) {
+	run := func() []byte {
+		eng := simtime.NewEngine()
+		l := testLink(eng)
+		in := NewInjector(eng)
+		in.Arm(Plan{Seed: 9, Events: append(
+			Outage(l, simtime.Time(simtime.Us(10)), simtime.Time(simtime.Us(20))),
+			Loss(l, simtime.Time(simtime.Us(30)), simtime.Time(simtime.Us(40)), 0.3, 1),
+			Flap(l, simtime.Time(simtime.Us(50)), simtime.Time(simtime.Us(90)), simtime.Us(10), simtime.Us(2)))})
+		eng.Run()
+		return in.TraceBytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("traces differ:\nA: %s\nB: %s", a, b)
+	}
+}

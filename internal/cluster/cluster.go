@@ -14,6 +14,7 @@ import (
 	"masq/internal/baselines/freeflow"
 	"masq/internal/baselines/hostrdma"
 	"masq/internal/baselines/sriov"
+	"masq/internal/chaos"
 	"masq/internal/controller"
 	"masq/internal/hyper"
 	"masq/internal/masq"
@@ -62,6 +63,10 @@ type Config struct {
 	// CtrlFault arms the controller's fault-injection plan (unavailability
 	// windows, dropped replies) for the whole testbed run.
 	CtrlFault controller.FaultPlan
+	// Chaos arms a network/VM fault schedule on the testbed's injector as
+	// soon as the topology is built. Plans referencing links or nodes can
+	// also be armed later via Testbed.Chaos.Arm.
+	Chaos chaos.Plan
 	PropDelay simtime.Duration
 	SwitchFwd simtime.Duration
 
@@ -98,15 +103,24 @@ type Testbed struct {
 	Fab      *overlay.Fabric
 	Ctrl     *controller.Controller
 	Backends []*masq.Backend // per host, nil until first MasQ node
-	// Links are the underlay links (one for a direct pair; one per host
-	// toward the ToR switch otherwise). Attach taps here to capture pcaps.
+	// Links are the underlay links: one for a direct pair, or one per host
+	// toward the ToR switch (Links[i] is host i's uplink). Attach taps here
+	// to capture pcaps, or target them with chaos faults.
 	Links []*simnet.Link
+	// Switch is the ToR switch for testbeds with more than two hosts (nil
+	// for a directly connected pair).
+	Switch *simnet.Switch
+	// Chaos is the testbed's fault injector. Link/switch transitions it
+	// applies are mirrored into the adjacent RNICs' port state (raising
+	// port async events), and NodeCrash events call CrashNode.
+	Chaos *chaos.Injector
 	// Trace is the cross-layer span recorder, non-nil iff Cfg.Trace.
 	Trace *trace.Recorder
 
 	masqMode  masq.Mode
 	routers   []*freeflow.Router // per host, lazy
 	neighbors map[packet.IP]packet.MAC
+	nodes     []*Node // in creation order; chaos NodeCrash indexes this
 	vfSeq     byte
 	nodeSeq   int
 }
@@ -155,12 +169,37 @@ func New(cfg Config) *Testbed {
 		tb.Links = append(tb.Links,
 			simnet.Connect(eng, tb.Hosts[0].Port, tb.Hosts[1].Port, cfg.RNIC.LineRate, cfg.PropDelay))
 	} else {
-		sw := simnet.NewSwitch(eng, "tor", cfg.SwitchFwd)
+		tb.Switch = simnet.NewSwitch(eng, "tor", cfg.SwitchFwd)
 		for _, h := range tb.Hosts {
-			sw.AttachPort(h.Port, cfg.RNIC.LineRate, cfg.PropDelay)
+			tb.Links = append(tb.Links, tb.Switch.AttachPort(h.Port, cfg.RNIC.LineRate, cfg.PropDelay))
 		}
 	}
+
+	tb.Chaos = chaos.NewInjector(eng)
+	tb.Chaos.OnCrash = func(node int) {
+		if node >= 0 && node < len(tb.nodes) {
+			_ = tb.CrashNode(tb.nodes[node])
+		}
+	}
+	tb.Chaos.OnLinkState = func(l *simnet.Link, down bool) {
+		// A cable cut is visible to both adjacent RNICs as a port event.
+		for _, h := range tb.Hosts {
+			if l.A == h.Port || l.B == h.Port {
+				h.Dev.SetPortState(!down)
+			}
+		}
+	}
+	tb.Chaos.Arm(cfg.Chaos)
 	return tb
+}
+
+// HostLink returns the underlay link adjacent to host i: the single
+// direct link for a two-host pair, or the host's ToR uplink otherwise.
+func (tb *Testbed) HostLink(i int) *simnet.Link {
+	if tb.Switch == nil {
+		return tb.Links[0]
+	}
+	return tb.Links[i]
 }
 
 // SetMasqMode selects VF (default) or PF placement for MasQ nodes created
@@ -227,9 +266,13 @@ type Node struct {
 	tb      *Testbed
 	vni     uint32
 	compute func(p *simtime.Proc, d simtime.Duration)
+	crashed bool
 
 	dev verbs.Device // cached open device
 }
+
+// Crashed reports whether the node was killed by CrashNode.
+func (n *Node) Crashed() bool { return n.crashed }
 
 // NewNode creates a workload endpoint on a host under the given mode,
 // attached to tenant vni at virtual IP vip.
@@ -315,7 +358,47 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %v", mode)
 	}
+	tb.nodes = append(tb.nodes, n)
 	return n, nil
+}
+
+// CrashNode kills a MasQ node's VM abruptly — the unplanned counterpart of
+// MigrateNode. The host-side reaction chain runs first (masq.Backend.Crash:
+// destroy the session's QPs and flush their conntrack entries, deregister
+// MRs, unregister the vBond's controller mapping), then the vNIC is detached
+// from the vswitch and the VM's memory released. Surviving peers are NOT
+// notified: they discover the death through transport retry exhaustion,
+// which surfaces as a QP-fatal async event on their side (Sec. 3.3's
+// security argument depends on stale state never outliving the endpoint).
+func (tb *Testbed) CrashNode(n *Node) error {
+	if n.Mode != ModeMasQ && n.Mode != ModeMasQPF {
+		return fmt.Errorf("cluster: crash is implemented for MasQ nodes (got %v)", n.Mode)
+	}
+	if n.crashed {
+		return nil
+	}
+	n.crashed = true
+	fe, _ := n.Provider.(*masq.Frontend)
+	vm, vnic := n.VM, n.VM.VNIC
+	host := n.Host
+	b := tb.Backends[hostIndex(tb, host)]
+	tb.Eng.Spawn("crash:"+n.Name, func(p *simtime.Proc) {
+		if b != nil && fe != nil {
+			b.Crash(p, fe)
+		}
+		host.VSwitch.DetachVM(vnic)
+		vm.Shutdown()
+	})
+	return nil
+}
+
+func hostIndex(tb *Testbed, h *hyper.Host) int {
+	for i, x := range tb.Hosts {
+		if x == h {
+			return i
+		}
+	}
+	return -1
 }
 
 // Compute burns CPU time scaled by the node's virtualization overhead.

@@ -112,6 +112,32 @@ func (ep *Endpoint) Info() verbs.ConnInfo {
 	return verbs.ConnInfo{GID: ep.GID, QPN: ep.QP.Num(), RKey: ep.MR.RKey(), Addr: ep.Buf}
 }
 
+// Close tears down the endpoint's verbs resources: the QP first (flushing
+// its conntrack state on MasQ), then the CQs and the MR. Errors are
+// ignored — Close runs on already-broken endpoints during reconnect, where
+// some handles may be dead.
+func (ep *Endpoint) Close(p *simtime.Proc) {
+	if ep.QP != nil {
+		_ = ep.QP.Destroy(p)
+	}
+	if ep.SCQ != nil {
+		_ = ep.SCQ.Destroy(p)
+	}
+	if ep.RCQ != nil && ep.RCQ != ep.SCQ {
+		_ = ep.RCQ.Destroy(p)
+	}
+	if ep.MR != nil {
+		_ = ep.MR.Dereg(p)
+	}
+}
+
+// MarshalConnInfo encodes ci for the out-of-band channel (the bytes that
+// really cross the overlay).
+func MarshalConnInfo(ci verbs.ConnInfo) []byte { return marshalInfo(ci) }
+
+// UnmarshalConnInfo decodes an out-of-band ConnInfo message.
+func UnmarshalConnInfo(b []byte) (verbs.ConnInfo, error) { return unmarshalInfo(b) }
+
 // connInfo wire codec (the bytes that really cross the overlay channel).
 func marshalInfo(ci verbs.ConnInfo) []byte {
 	b := make([]byte, 16+4+4+8)

@@ -45,6 +45,11 @@ type Backend struct {
 		QueryFailures uint64 // resolutions abandoned after the retry budget
 		StaleRenames  uint64 // establishments that hit a stale cached mapping
 		Invalidations uint64 // cache entries dropped (push or stale detection)
+
+		// Failure-chain accounting.
+		FatalEvents   uint64 // QP-fatal async events on QPs this backend owns
+		AsyncCleanups uint64 // RConntrack erasures triggered by fatal events
+		Crashes       uint64 // VMs torn down by Crash
 	}
 }
 
@@ -62,6 +67,26 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 		tenants: make(map[uint32]*rnic.Func),
 		qpOwner: make(map[uint32]*session),
 	}
+	// The failure-reaction chain, backend half: when the RNIC moves an
+	// owned QP to ERROR on its own (retry exhaustion — typically a dead or
+	// partitioned peer), the connection no longer exists, so its
+	// RConntrack state is erased without waiting for the guest to destroy
+	// the QP. The erase runs as a proc to pay the delete cost; it is
+	// idempotent against the guest's own destroy_qp racing it.
+	host.Dev.SubscribeAsync(func(ev rnic.AsyncEvent) {
+		if ev.Type != rnic.EventQPFatal {
+			return
+		}
+		if _, ok := b.qpOwner[ev.QPN]; !ok {
+			return
+		}
+		b.Stats.FatalEvents++
+		qpn := ev.QPN
+		host.Eng.Spawn("masq.fatal-cleanup", func(p *simtime.Proc) {
+			b.Stats.AsyncCleanups++
+			b.CT.Delete(p, qpn)
+		})
+	})
 	ctrl.Subscribe(func(k controller.Key, m controller.Mapping, removed bool) {
 		if removed {
 			if _, ok := b.cache[k]; ok {
@@ -274,6 +299,24 @@ type session struct {
 	vni   uint32
 	vbond *VBond
 	fn    *rnic.Func
+
+	// events is the guest-visible async event channel (ibv_get_async_event
+	// via the frontend); the backend injects events after the interrupt
+	// latency.
+	events *simtime.Queue[rnic.AsyncEvent]
+	dead   bool
+
+	// Live resources, tracked so Crash can tear the session down without
+	// guest cooperation. Slices (not maps) keep teardown order — and thus
+	// the simulation — deterministic.
+	qps []*rnic.QP
+	mrs []sessMR
+}
+
+// sessMR remembers what it takes to undo one registration.
+type sessMR struct {
+	mr  *rnic.MR
+	gpa []mem.Extent
 }
 
 // NewFrontend plugs a MasQ virtual RoCE device into a VM: it creates the
@@ -303,7 +346,21 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 	}
 
 	vbond := NewVBond(vni, vm.VNIC, b.Ctrl, b.physIdentity())
-	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn}
+	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn,
+		events: simtime.NewQueue[rnic.AsyncEvent](b.Host.Eng)}
+	// Async events reach the guest like any other device interrupt: QP
+	// fatals are steered to the owning session only, port state changes
+	// fan out to every guest on the device, and each delivery pays the
+	// injection latency.
+	b.Host.Dev.SubscribeAsync(func(ev rnic.AsyncEvent) {
+		if sess.dead {
+			return
+		}
+		if ev.Type == rnic.EventQPFatal && b.qpOwner[ev.QPN] != sess {
+			return
+		}
+		b.Host.Eng.After(b.VIO.IRQCost, func() { sess.events.Put(ev) })
+	})
 	ring := virtio.NewRing(b.Host.Eng, b.VIO)
 	ring.Rec = b.Rec
 	ring.Serve("masq-backend:"+vm.Name, func(p *simtime.Proc, cmd any) any {
@@ -380,9 +437,17 @@ func (b *Backend) handle(p *simtime.Proc, cmd any) any {
 			}
 			hpa = append(hpa, sub...)
 		}
-		return resp{v: dev.RegMR(p, c.sess.fn, c.pd, c.va, c.length, hpa, c.access)}
+		mr := dev.RegMR(p, c.sess.fn, c.pd, c.va, c.length, hpa, c.access)
+		c.sess.mrs = append(c.sess.mrs, sessMR{mr: mr, gpa: c.gpaExt})
+		return resp{v: mr}
 	case cmdDeregMR:
 		dev.DeregMR(p, nil, c.mr)
+		for i, r := range c.sess.mrs {
+			if r.mr == c.mr {
+				c.sess.mrs = append(c.sess.mrs[:i], c.sess.mrs[i+1:]...)
+				break
+			}
+		}
 		for _, e := range c.gpaExt {
 			if err := c.sess.vm.GPA.UnpinToPhys(e.Addr, e.Len); err != nil {
 				return resp{err: err}
@@ -402,10 +467,17 @@ func (b *Backend) handle(p *simtime.Proc, cmd any) any {
 	case cmdCreateQP:
 		qp := dev.CreateQP(p, c.sess.fn, c.pd, c.scq, c.rcq, c.typ, c.caps)
 		b.qpOwner[qp.Num] = c.sess
+		c.sess.qps = append(c.sess.qps, qp)
 		return resp{v: qp}
 	case cmdDestroyQP:
 		b.CT.Delete(p, c.qp.Num)
 		delete(b.qpOwner, c.qp.Num)
+		for i, qp := range c.sess.qps {
+			if qp == c.qp {
+				c.sess.qps = append(c.sess.qps[:i], c.sess.qps[i+1:]...)
+				break
+			}
+		}
 		dev.DestroyQP(p, c.qp)
 		return resp{}
 	case cmdModifyQP:
@@ -478,6 +550,38 @@ func (b *Backend) renameRTR(p *simtime.Proc, c cmdModifyQP, a verbs.Attr, attr r
 	}
 	b.CT.Insert(p, id, c.qp)
 	return nil
+}
+
+// Crash models abrupt VM death for one frontend: no guest cooperation, no
+// application-assisted teardown. The host driver erases the RConntrack
+// state of every QP the session owns, destroys the QPs, deregisters and
+// unpins the session's MRs, and withdraws the vBond's (VNI, vGID) mapping
+// from the controller — nothing of the tenant's connection state may
+// outlive the VM. Surviving peers are not told: they discover the death
+// through retry exhaustion and the resulting fatal async event.
+func (b *Backend) Crash(p *simtime.Proc, f *Frontend) {
+	sess := f.sess
+	if sess.dead {
+		return
+	}
+	sess.dead = true
+	b.Stats.Crashes++
+	dev := b.Host.Dev
+	for _, qp := range sess.qps {
+		b.CT.Delete(p, qp.Num)
+		delete(b.qpOwner, qp.Num)
+		dev.DestroyQP(p, qp)
+	}
+	sess.qps = nil
+	for _, r := range sess.mrs {
+		dev.DeregMR(p, nil, r.mr)
+		for _, e := range r.gpa {
+			// Best effort: the VM's address space dies with it anyway.
+			_ = sess.vm.GPA.UnpinToPhys(e.Addr, e.Len)
+		}
+	}
+	sess.mrs = nil
+	sess.vbond.Shutdown()
 }
 
 // postUD renames and posts a datagram WQE that the frontend routed through

@@ -229,6 +229,21 @@ func (d *fdevice) CreateSRQ(p *simtime.Proc, maxWR int) (verbs.SRQ, error) {
 	return fsrq{d: d, s: v.(*rnic.SRQ)}, nil
 }
 
+// Async events (verbs.AsyncDevice): the backend injects device events into
+// the session's event queue after the interrupt latency; reading them is a
+// local dequeue, like ibv_get_async_event on the mapped event channel.
+func (d *fdevice) GetAsyncEvent(p *simtime.Proc) verbs.AsyncEvent {
+	return d.f.sess.events.Get(p)
+}
+
+func (d *fdevice) GetAsyncEventTimeout(p *simtime.Proc, t simtime.Duration) (verbs.AsyncEvent, bool) {
+	return d.f.sess.events.GetTimeout(p, t)
+}
+
+func (d *fdevice) TryAsyncEvent() (verbs.AsyncEvent, bool) {
+	return d.f.sess.events.TryGet()
+}
+
 // QueryGID is answered locally by vBond (pure software, not forwarded);
 // the host-verb cost still applies in the guest library.
 func (d *fdevice) QueryGID(p *simtime.Proc) (packet.GID, error) {

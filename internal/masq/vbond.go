@@ -56,6 +56,19 @@ func (b *VBond) MAC() packet.MAC { return b.vnic.EP.VMAC }
 // unregistered — the successor overwrites it.
 func (b *VBond) Stop() { b.stopped = true }
 
+// Shutdown deactivates the bond AND withdraws its controller mapping.
+// This is the VM-death path: unlike migration, no successor will overwrite
+// the entry, and a (VNI, vGID) mapping must never outlive its endpoint.
+func (b *VBond) Shutdown() {
+	if b.stopped {
+		return
+	}
+	b.stopped = true
+	if !b.vgid.IsZero() {
+		b.ctrl.Unregister(controller.Key{VNI: b.vni, VGID: b.vgid})
+	}
+}
+
 // ipChanged is the inetaddr-notification callback: update the GID and the
 // controller's mapping table immediately.
 func (b *VBond) ipChanged(old, new packet.IP) {

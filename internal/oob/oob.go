@@ -32,10 +32,36 @@ const (
 	flagSYNACK
 	flagDATA
 	flagFIN
+	flagACK // acknowledges the DATA segment carrying the same seq
 )
 
-// segment layout: srcPort(2) dstPort(2) flags(1) pad(3), then payload.
+// segment layout: srcPort(2) dstPort(2) flags(1) seq(1) pad(2), then
+// payload. seq numbers DATA segments (mod 256) for ack/retransmit/dedup;
+// it is zero on SYN/SYNACK/FIN.
 const hdrLen = 8
+
+// Params tunes the retransmission layer. The overlay may lose frames
+// (chaos loss windows, link cuts), so both the handshake and data segments
+// are retransmitted with exponential backoff up to a retry budget — a
+// transient loss window delays a connection instead of failing it.
+type Params struct {
+	SynRetries  int              // SYN transmissions per Dial (min 1)
+	DataRetries int              // DATA transmissions per message (min 1)
+	RetxTimeout simtime.Duration // initial retransmit timeout; doubles per retry
+}
+
+// DefaultParams returns the stack defaults.
+func DefaultParams() Params {
+	return Params{SynRetries: 6, DataRetries: 6, RetxTimeout: simtime.Ms(2)}
+}
+
+// Stats counts retransmission-layer activity.
+type Stats struct {
+	SynRetx  uint64 // SYN segments re-sent by Dial
+	DataRetx uint64 // DATA segments re-sent after an ack timeout
+	DupData  uint64 // duplicate DATA segments discarded at the receiver
+	Resets   uint64 // connections aborted after DATA retry exhaustion
+}
 
 // Resolver maps a destination virtual IP to its virtual MAC (ARP within
 // the tenant network).
@@ -49,6 +75,10 @@ type connKey struct {
 
 // Stack is a VM's out-of-band transport endpoint over its overlay port.
 type Stack struct {
+	// P may be tuned before the first Dial/Send.
+	P     Params
+	Stats Stats
+
 	eng       *simtime.Engine
 	port      *overlay.VMPort
 	resolve   Resolver
@@ -61,6 +91,7 @@ type Stack struct {
 // NewStack creates the endpoint and starts its demultiplexer.
 func NewStack(eng *simtime.Engine, port *overlay.VMPort, resolve Resolver) *Stack {
 	s := &Stack{
+		P:         DefaultParams(),
 		eng:       eng,
 		port:      port,
 		resolve:   resolve,
@@ -100,20 +131,41 @@ func (s *Stack) Listen(port uint16) (*Listener, error) {
 	return l, nil
 }
 
-// Conn is an established bidirectional message channel.
+// Conn is an established bidirectional message channel. Messages are
+// delivered reliably and in order: each DATA segment carries a sequence
+// number, is acknowledged by the receiver, and is retransmitted with
+// backoff until acked or the retry budget runs out (which resets the
+// connection).
 type Conn struct {
 	stack     *Stack
 	key       connKey
 	remoteMAC packet.MAC
 	inbox     *simtime.Queue[[]byte]
 	closed    bool
+
+	txSeq   byte               // next sequence number to assign
+	rxNext  byte               // next sequence number to deliver
+	pend    map[byte]*retxJob  // unacked outbound segments
+	reorder map[byte][]byte    // out-of-order inbound segments
+}
+
+// retxJob retransmits one unacked DATA segment until acked or exhausted.
+type retxJob struct {
+	c       *Conn
+	seq     byte
+	data    []byte
+	tries   int
+	backoff simtime.Duration
 }
 
 // RemoteIP returns the peer's virtual IP.
 func (c *Conn) RemoteIP() packet.IP { return c.key.remoteIP }
 
 // Dial connects to (ip, port), performing a SYN/SYNACK handshake through
-// the overlay. It fails with ErrTimeout when the handshake is filtered.
+// the overlay. The SYN is retransmitted with exponential backoff within
+// the timeout budget, so transient loss delays the handshake rather than
+// failing it; ErrTimeout after the full budget means the path is down or
+// the handshake is filtered by security rules.
 func (s *Stack) Dial(p *simtime.Proc, ip packet.IP, port uint16, timeout simtime.Duration) (*Conn, error) {
 	mac, ok := s.resolve(ip)
 	if !ok {
@@ -123,22 +175,75 @@ func (s *Stack) Dial(p *simtime.Proc, ip packet.IP, port uint16, timeout simtime
 	key := connKey{remoteIP: ip, localPort: s.nextPort, remotePort: port}
 	ev := simtime.NewEvent[*Conn](s.eng)
 	s.dials[key] = ev
-	s.send(mac, ip, key.localPort, port, flagSYN, nil)
-	conn, ok := ev.WaitTimeout(p, timeout)
-	delete(s.dials, key)
-	if !ok {
-		return nil, ErrTimeout
+	defer delete(s.dials, key)
+	deadline := p.Now().Add(timeout)
+	backoff := s.P.RetxTimeout
+	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			s.Stats.SynRetx++
+		}
+		s.send(mac, ip, key.localPort, port, flagSYN, 0, nil)
+		wait := backoff
+		if attempt >= s.P.SynRetries {
+			wait = deadline.Sub(p.Now()) // last attempt: wait out the budget
+		}
+		if rem := deadline.Sub(p.Now()); wait > rem {
+			wait = rem
+		}
+		if wait <= 0 {
+			return nil, ErrTimeout
+		}
+		if conn, ok := ev.WaitTimeout(p, wait); ok {
+			return conn, nil
+		}
+		if p.Now() >= deadline {
+			return nil, ErrTimeout
+		}
+		backoff *= 2
 	}
-	return conn, nil
 }
 
-// Send transmits one message on the connection.
+// Send transmits one message on the connection. It returns once the
+// segment is on the wire; acknowledgment and retransmission run in the
+// background (lost segments are re-sent with backoff; exhausting the
+// budget resets the connection, surfacing ErrClosed to readers).
 func (c *Conn) Send(p *simtime.Proc, msg []byte) error {
 	if c.closed {
 		return ErrClosed
 	}
-	c.stack.send(c.remoteMAC, c.key.remoteIP, c.key.localPort, c.key.remotePort, flagDATA, msg)
+	seq := c.txSeq
+	c.txSeq++
+	if c.pend == nil {
+		c.pend = make(map[byte]*retxJob)
+	}
+	j := &retxJob{c: c, seq: seq, data: append([]byte(nil), msg...), tries: 1, backoff: c.stack.P.RetxTimeout}
+	c.pend[seq] = j
+	c.stack.send(c.remoteMAC, c.key.remoteIP, c.key.localPort, c.key.remotePort, flagDATA, seq, msg)
+	c.stack.eng.After(j.backoff, j.fire)
 	return nil
+}
+
+// fire is the ack-timeout path of one outbound segment.
+func (j *retxJob) fire() {
+	c := j.c
+	if c.closed || c.pend[j.seq] != j {
+		return // acked (or conn torn down) before the timeout
+	}
+	if j.tries >= max(c.stack.P.DataRetries, 1) {
+		// The peer is gone (dead VM, partition outlasting the budget):
+		// reset the connection so readers unblock with ErrClosed.
+		c.stack.Stats.Resets++
+		delete(c.pend, j.seq)
+		c.closed = true
+		c.inbox.Put(nil)
+		delete(c.stack.conns, c.key)
+		return
+	}
+	j.tries++
+	j.backoff *= 2
+	c.stack.Stats.DataRetx++
+	c.stack.send(c.remoteMAC, c.key.remoteIP, c.key.localPort, c.key.remotePort, flagDATA, j.seq, j.data)
+	c.stack.eng.After(j.backoff, j.fire)
 }
 
 // Recv blocks for the next message.
@@ -168,15 +273,17 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	c.stack.send(c.remoteMAC, c.key.remoteIP, c.key.localPort, c.key.remotePort, flagFIN, nil)
+	c.pend = nil // an orderly close abandons unacked segments
+	c.stack.send(c.remoteMAC, c.key.remoteIP, c.key.localPort, c.key.remotePort, flagFIN, 0, nil)
 	delete(c.stack.conns, c.key)
 }
 
-func (s *Stack) send(dstMAC packet.MAC, dstIP packet.IP, srcPort, dstPort uint16, flags byte, data []byte) {
+func (s *Stack) send(dstMAC packet.MAC, dstIP packet.IP, srcPort, dstPort uint16, flags, seq byte, data []byte) {
 	seg := make([]byte, hdrLen+len(data))
 	binary.BigEndian.PutUint16(seg[0:2], srcPort)
 	binary.BigEndian.PutUint16(seg[2:4], dstPort)
 	seg[4] = flags
+	seg[5] = seq
 	copy(seg[hdrLen:], data)
 	frame := packet.Serialize(
 		&packet.Ethernet{Dst: dstMAC, Src: s.port.EP.VMAC, EtherType: packet.EtherTypeIPv4},
@@ -200,6 +307,7 @@ func (s *Stack) rxLoop(p *simtime.Proc) {
 		srcPort := binary.BigEndian.Uint16(seg[0:2])
 		dstPort := binary.BigEndian.Uint16(seg[2:4])
 		flags := seg[4]
+		seq := seg[5]
 		srcIP := pkt.IPv4().Src
 		srcMAC := pkt.Ethernet().Src
 
@@ -210,28 +318,71 @@ func (s *Stack) rxLoop(p *simtime.Proc) {
 				continue
 			}
 			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
+			if s.conns[key] != nil {
+				// Retransmitted SYN for a connection we already accepted:
+				// our SYNACK was lost. Re-answer, don't re-accept.
+				s.send(srcMAC, srcIP, dstPort, srcPort, flagSYNACK, 0, nil)
+				continue
+			}
 			conn := &Conn{stack: s, key: key, remoteMAC: srcMAC, inbox: simtime.NewQueue[[]byte](s.eng)}
 			s.conns[key] = conn
-			s.send(srcMAC, srcIP, dstPort, srcPort, flagSYNACK, nil)
+			s.send(srcMAC, srcIP, dstPort, srcPort, flagSYNACK, 0, nil)
 			l.backlog.Put(conn)
 		case flags&flagSYNACK != 0:
 			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
-			if ev := s.dials[key]; ev != nil {
+			if ev := s.dials[key]; ev != nil && !ev.Triggered() {
 				conn := &Conn{stack: s, key: key, remoteMAC: srcMAC, inbox: simtime.NewQueue[[]byte](s.eng)}
 				s.conns[key] = conn
 				ev.Trigger(conn)
 			}
-		case flags&flagDATA != 0:
+		case flags&flagACK != 0:
 			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
 			if conn := s.conns[key]; conn != nil {
+				delete(conn.pend, seq)
+			}
+		case flags&flagDATA != 0:
+			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
+			conn := s.conns[key]
+			if conn == nil {
+				continue
+			}
+			// Always ack — a duplicate means our previous ack was lost.
+			s.send(srcMAC, srcIP, dstPort, srcPort, flagACK, seq, nil)
+			switch {
+			case seq == conn.rxNext:
 				data := make([]byte, len(seg)-hdrLen)
 				copy(data, seg[hdrLen:])
 				conn.inbox.Put(data)
+				conn.rxNext++
+				// Drain anything the loss reordered behind this segment.
+				for {
+					d, ok := conn.reorder[conn.rxNext]
+					if !ok {
+						break
+					}
+					delete(conn.reorder, conn.rxNext)
+					conn.inbox.Put(d)
+					conn.rxNext++
+				}
+			case byte(seq-conn.rxNext) < 128:
+				// Ahead of the delivery cursor: an earlier segment is
+				// still in flight (lost, being retransmitted). Buffer.
+				if conn.reorder == nil {
+					conn.reorder = make(map[byte][]byte)
+				}
+				if _, dup := conn.reorder[seq]; !dup {
+					data := make([]byte, len(seg)-hdrLen)
+					copy(data, seg[hdrLen:])
+					conn.reorder[seq] = data
+				}
+			default:
+				s.Stats.DupData++ // behind the cursor: already delivered
 			}
 		case flags&flagFIN != 0:
 			key := connKey{remoteIP: srcIP, localPort: dstPort, remotePort: srcPort}
 			if conn := s.conns[key]; conn != nil {
 				conn.closed = true
+				conn.pend = nil
 				conn.inbox.Put(nil)
 				delete(s.conns, key)
 			}

@@ -456,12 +456,14 @@ func TestConntrackSkipsRuleScanOnEstablishedFlows(t *testing.T) {
 	if first == 0 || second == 0 {
 		t.Fatal("rounds did not complete")
 	}
-	if first != second {
+	// The rounds may differ by a frame's worth of ack traffic sharing the
+	// egress queues, but nothing close to a rule scan.
+	if diff := first - second; diff < -simtime.Us(30) || diff > simtime.Us(30) {
 		t.Fatalf("cached rounds differ: %v vs %v", first, second)
 	}
 	// A 401-rule scan at 0.3µs/rule would add ~120µs per hop; the cached
 	// path must be far below one scan's worth over the whole round trip.
-	if first > simtime.Us(200) {
-		t.Fatalf("round trip %v suggests per-packet rule scans", first)
+	if first > simtime.Us(200) || second > simtime.Us(200) {
+		t.Fatalf("round trips %v/%v suggest per-packet rule scans", first, second)
 	}
 }

@@ -265,6 +265,18 @@ func (vp *VMPort) SetIP(newIP packet.IP) error {
 	return nil
 }
 
+// DetachVM removes a VM port from its vswitch and the fabric registry —
+// the network half of VM death. Later lookups of the endpoint miss, so
+// peers trying to (re)connect fail cleanly instead of addressing a ghost.
+func (sw *VSwitch) DetachVM(vp *VMPort) {
+	key := epKey{vp.EP.VNI, vp.EP.VIP}
+	if sw.ports[key] != vp {
+		return
+	}
+	delete(sw.ports, key)
+	delete(sw.fab.endpoints, key)
+}
+
 // MoveEndpoint re-homes a VM port onto another host's vswitch, keeping
 // its tenant, virtual IP and MAC — the network half of a live migration
 // (Sec. 5 of the MasQ paper). In-flight frames queued at the old switch

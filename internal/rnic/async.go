@@ -1,0 +1,76 @@
+package rnic
+
+// Async events are the device's out-of-band error channel, modeled on
+// ibv_get_async_event: conditions the data path cannot report through a
+// completion queue alone — a QP forced to ERROR by the transport engine
+// (retry exhaustion, RNR exhaustion, fatal remote NAK) or a port state
+// change — are raised here so the owner of the device can react instead of
+// discovering the death by timeout.
+
+// AsyncEventType discriminates async events.
+type AsyncEventType int
+
+const (
+	// EventQPFatal reports a QP the hardware moved to ERROR. Exactly one
+	// fatal event is raised per QP per visit to ERROR; Status carries the
+	// cause (WCRetryExceeded, WCRNRRetryExceeded, WCRemoteOpErr...).
+	EventQPFatal AsyncEventType = iota
+	// EventPortDown / EventPortUp report physical port state edges.
+	EventPortDown
+	EventPortUp
+)
+
+func (t AsyncEventType) String() string {
+	switch t {
+	case EventQPFatal:
+		return "qp-fatal"
+	case EventPortDown:
+		return "port-down"
+	case EventPortUp:
+		return "port-up"
+	}
+	return "unknown"
+}
+
+// AsyncEvent is one device-level asynchronous event.
+type AsyncEvent struct {
+	Type   AsyncEventType
+	QPN    uint32   // the affected QP for EventQPFatal; 0 for port events
+	Status WCStatus // cause for EventQPFatal
+}
+
+// SubscribeAsync registers fn to receive every async event the device
+// raises. Delivery is synchronous at the instant the hardware would raise
+// the interrupt; subscribers that model interrupt latency (e.g. the virtio
+// backend) add their own delay. Subscriptions cannot be removed — the set
+// is fixed at wiring time, like MSI-X vectors.
+func (d *Device) SubscribeAsync(fn func(AsyncEvent)) {
+	d.asyncSubs = append(d.asyncSubs, fn)
+}
+
+// raiseAsync counts and fans an event out to every subscriber.
+func (d *Device) raiseAsync(ev AsyncEvent) {
+	d.Stats.AsyncEvents++
+	for _, fn := range d.asyncSubs {
+		fn(ev)
+	}
+}
+
+// SetPortState records a physical port state change and raises the
+// matching async event on an edge. The chaos wiring calls this when the
+// host's uplink goes down or comes back; the link itself models the actual
+// frame loss, this is only the NIC's view of carrier.
+func (d *Device) SetPortState(up bool) {
+	if d.portDown == !up {
+		return
+	}
+	d.portDown = !up
+	if up {
+		d.raiseAsync(AsyncEvent{Type: EventPortUp})
+	} else {
+		d.raiseAsync(AsyncEvent{Type: EventPortDown})
+	}
+}
+
+// PortUp reports the NIC's view of carrier (true until told otherwise).
+func (d *Device) PortUp() bool { return !d.portDown }

@@ -1,0 +1,143 @@
+package rnic
+
+import (
+	"testing"
+
+	"masq/internal/simnet"
+	"masq/internal/simtime"
+)
+
+// TestRetryExhaustRaisesExactlyOneFatalAsyncEvent: several WRs are in
+// flight when a burst-loss window blacks the link out; the transport
+// exhausts its retries, the QP enters ERROR once, and exactly one QP-fatal
+// async event fans out — the later flushed WRs must not re-raise it.
+func TestRetryExhaustRaisesExactlyOneFatalAsyncEvent(t *testing.T) {
+	params := DefaultParams()
+	params.MaxRetry = 2
+	params.RetransTimeout = simtime.Us(100)
+	e := newEnvParams(t, params)
+
+	var events []AsyncEvent
+	e.a.dev.SubscribeAsync(func(ev AsyncEvent) { events = append(events, ev) })
+
+	var firstWC WC
+	var qpn uint32
+	e.eng.Spawn("test", func(p *simtime.Proc) {
+		c := makeEndpoint(t, p, e.a, RC)
+		s := makeEndpoint(t, p, e.b, RC)
+		connect(t, p, c, s)
+		qpn = c.qp.Num
+		sva, smr := e.a.buffer(t, p, c.pd, 4096, AccessLocalWrite)
+		rva, rmr := e.b.buffer(t, p, s.pd, 4096, AccessLocalWrite|AccessRemoteWrite)
+		// Black out everything from now on: a burst-loss window with
+		// certain drops, long enough to outlast every retry.
+		e.link.SetLoss(simnet.NewLossModel(1, 1.0, 4, p.Now(), p.Now().Add(simtime.Ms(100))))
+		for i := 0; i < 4; i++ {
+			c.qp.PostSend(p, SendWR{
+				WRID: uint64(i), Op: WRWrite, LocalAddr: sva, LKey: smr.LKey,
+				Len: 1024, RemoteAddr: rva, RKey: rmr.RKey,
+			})
+		}
+		firstWC = c.scq.Wait(p)
+		p.Sleep(simtime.Ms(50)) // let every flush and stray timer land
+	})
+	e.eng.Run()
+
+	if firstWC.Status != WCRetryExceeded {
+		t.Fatalf("first completion = %v, want RETRY_EXC_ERR", firstWC.Status)
+	}
+	fatal := 0
+	for _, ev := range events {
+		if ev.Type == EventQPFatal {
+			fatal++
+			if ev.QPN != qpn || ev.Status != WCRetryExceeded {
+				t.Fatalf("fatal event = %+v, want qpn=%d status=RETRY_EXC_ERR", ev, qpn)
+			}
+		}
+	}
+	if fatal != 1 {
+		t.Fatalf("got %d QP-fatal events, want exactly 1 (events: %v)", fatal, events)
+	}
+	if e.a.dev.Stats.AsyncEvents != 1 {
+		t.Fatalf("device async event counter = %d, want 1", e.a.dev.Stats.AsyncEvents)
+	}
+}
+
+// TestEmptySQErrorStillDeliversCompletion: a QP that dies with nothing on
+// its send queue must still surface a completion — otherwise an idle
+// process waiting on the CQ never learns its QP is gone (the silent-death
+// bug). The synthesized WC carries the fatal status and the QPN.
+func TestEmptySQErrorStillDeliversCompletion(t *testing.T) {
+	e := newEnv(t)
+	var wc WC
+	var ok bool
+	e.eng.Spawn("test", func(p *simtime.Proc) {
+		c := makeEndpoint(t, p, e.a, RC)
+		s := makeEndpoint(t, p, e.b, RC)
+		connect(t, p, c, s)
+		c.qp.enterError(WCRetryExceeded) // hardware-initiated death, SQ empty
+		wc, ok = c.scq.WaitTimeout(p, simtime.Ms(10))
+	})
+	e.eng.Run()
+	if !ok {
+		t.Fatal("no completion delivered for an empty-SQ fatal")
+	}
+	if wc.Status != WCRetryExceeded || wc.QPN == 0 {
+		t.Fatalf("synthesized WC = %+v, want RETRY_EXC_ERR with QPN set", wc)
+	}
+}
+
+// TestEnterErrorIsIdempotent: the single choke point must not double-fire
+// events or completions when a second error path lands on a dead QP.
+func TestEnterErrorIsIdempotent(t *testing.T) {
+	e := newEnv(t)
+	fatals := 0
+	e.a.dev.SubscribeAsync(func(ev AsyncEvent) {
+		if ev.Type == EventQPFatal {
+			fatals++
+		}
+	})
+	completions := 0
+	e.eng.Spawn("test", func(p *simtime.Proc) {
+		c := makeEndpoint(t, p, e.a, RC)
+		s := makeEndpoint(t, p, e.b, RC)
+		connect(t, p, c, s)
+		c.qp.enterError(WCRetryExceeded)
+		c.qp.enterError(WCRNRRetryExceeded)
+		p.Sleep(simtime.Ms(1))
+		for {
+			if _, ok := c.scq.TryPoll(p); !ok {
+				break
+			}
+			completions++
+		}
+	})
+	e.eng.Run()
+	if fatals != 1 {
+		t.Fatalf("QP-fatal events = %d, want 1", fatals)
+	}
+	if completions != 1 {
+		t.Fatalf("completions = %d, want 1", completions)
+	}
+}
+
+// TestPortStateEventsAreEdgeDetected: cable pulls surface as PORT_DOWN /
+// PORT_UP async events, once per transition regardless of repeated sets.
+func TestPortStateEventsAreEdgeDetected(t *testing.T) {
+	e := newEnv(t)
+	var evs []AsyncEventType
+	e.a.dev.SubscribeAsync(func(ev AsyncEvent) { evs = append(evs, ev.Type) })
+	if !e.a.dev.PortUp() {
+		t.Fatal("port should start up")
+	}
+	e.a.dev.SetPortState(false)
+	e.a.dev.SetPortState(false) // not an edge
+	e.a.dev.SetPortState(true)
+	e.a.dev.SetPortState(true) // not an edge
+	if len(evs) != 2 || evs[0] != EventPortDown || evs[1] != EventPortUp {
+		t.Fatalf("events = %v, want [PORT_DOWN PORT_UP]", evs)
+	}
+	if e.a.dev.Stats.AsyncEvents != 2 {
+		t.Fatalf("async event counter = %d, want 2", e.a.dev.Stats.AsyncEvents)
+	}
+}

@@ -19,6 +19,7 @@ type Stats struct {
 	NAKsSent             uint64
 	RNRsSent             uint64
 	Dropped              uint64 // packets discarded (bad QP, ERROR state, UD without WQE...)
+	AsyncEvents          uint64 // async events raised (QP fatal, port up/down)
 }
 
 // Device is one RoCEv2 RNIC: a physical function, up to MaxVFs virtual
@@ -52,6 +53,10 @@ type Device struct {
 	txActive *simtime.Queue[*QP]
 	ctxCache *lruCache
 	rec      *trace.Recorder
+
+	// Async event channel (see async.go).
+	asyncSubs []func(AsyncEvent)
+	portDown  bool
 
 	// Callback-pipeline state. The TX and RX pipelines each process one
 	// packet at a time inline in the engine loop; these fields carry the

@@ -283,14 +283,25 @@ func (qp *QP) flush() {
 // enterError moves the QP to ERROR from within the transport engine (e.g.
 // retry exhaustion), completing the head WQE with status and flushing the
 // rest. This is the hardware-initiated path of Fig. 5's dashed arrows.
+// A completion carrying the cause is delivered even when the SQ is empty
+// (an app polling the CQ must never wait forever on a dead QP), and
+// exactly one EventQPFatal is raised per visit to ERROR.
 func (qp *QP) enterError(status WCStatus) {
+	if qp.state == StateError {
+		return
+	}
 	if len(qp.sq) > 0 {
 		head := qp.sq[0]
 		qp.SendCQ.post(WC{WRID: head.wr.WRID, Status: status, Op: head.wr.Op, QPN: qp.Num})
 		qp.popHeadSQ()
+	} else {
+		// No WQE to blame: synthesize a completion (WRID 0) so the error
+		// is still observable on the send CQ.
+		qp.SendCQ.post(WC{Status: status, QPN: qp.Num})
 	}
 	qp.state = StateError
 	qp.flush()
+	qp.dev.raiseAsync(AsyncEvent{Type: EventQPFatal, QPN: qp.Num, Status: status})
 }
 
 // rememberAtomic records an executed atomic's result for duplicate

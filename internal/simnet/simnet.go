@@ -1,11 +1,16 @@
 // Package simnet models the physical (underlay) network of the testbed:
 // NIC ports, full-duplex links with bandwidth serialization and propagation
 // delay, and a store-and-forward learning L2 switch. Links are lossless by
-// default, matching the paper's PFC-enabled RoCEv2 fabric; tests can inject
-// drops to exercise retransmission.
+// default, matching the paper's PFC-enabled RoCEv2 fabric; structured
+// faults — administrative link down, windowed probabilistic loss (uniform
+// or bursty), switch failure — can be installed per link/switch, and every
+// discarded frame is counted and attributed to its cause. The chaos
+// package schedules these faults deterministically in virtual time.
 package simnet
 
 import (
+	"math/rand"
+
 	"masq/internal/packet"
 	"masq/internal/simtime"
 )
@@ -69,20 +74,100 @@ func (p *Port) deliver(f Frame) {
 	p.RX.Put(f)
 }
 
+// LinkStats counts, across both directions, what happened to frames that
+// finished serializing on a link. Every discarded frame is attributed to
+// exactly one cause, so Dropped == DroppedDown+DroppedLoss+DroppedHook and
+// no injected fault is ever invisible.
+type LinkStats struct {
+	Delivered   uint64 // frames that entered propagation
+	Dropped     uint64 // frames discarded, any cause
+	DroppedDown uint64 // discarded because the link was administratively down
+	DroppedLoss uint64 // discarded by the probabilistic LossModel
+	DroppedHook uint64 // discarded by the legacy Drop hook
+}
+
+// LossModel drops frames probabilistically inside a virtual-time window.
+// Burst > 1 models correlated loss: each drop decision discards a run of
+// consecutive frames. The model owns a private seeded PRNG so two runs with
+// the same seed make identical drop decisions.
+type LossModel struct {
+	Start simtime.Time // window start (inclusive)
+	End   simtime.Time // window end (exclusive); 0 means no end
+	Prob  float64      // per-decision drop probability
+	Burst int          // frames lost per drop decision (min 1)
+
+	rng       *rand.Rand
+	burstLeft int
+}
+
+// NewLossModel returns a loss model active on [start, end) with its own
+// PRNG seeded from seed.
+func NewLossModel(seed int64, prob float64, burst int, start, end simtime.Time) *LossModel {
+	if burst < 1 {
+		burst = 1
+	}
+	return &LossModel{Start: start, End: end, Prob: prob, Burst: burst,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// drop decides the fate of one frame finishing serialization at now.
+func (m *LossModel) drop(now simtime.Time) bool {
+	if now < m.Start || (m.End != 0 && now >= m.End) {
+		return false
+	}
+	if m.burstLeft > 0 {
+		m.burstLeft--
+		return true
+	}
+	if m.rng.Float64() < m.Prob {
+		m.burstLeft = m.Burst - 1
+		return true
+	}
+	return false
+}
+
 // Link is a full-duplex point-to-point link. Each direction serializes
 // frames FIFO at the link bandwidth and then delivers them after the
 // propagation delay (propagation is pipelined behind serialization).
+// Links are lossless unless a fault is installed: an administrative down
+// state (SetDown), a probabilistic LossModel (SetLoss), or the legacy Drop
+// hook. All discards are counted in Stats.
 type Link struct {
 	A, B      *Port
 	Bandwidth float64 // bits per second
 	PropDelay simtime.Duration
 
 	// Drop, when non-nil, is consulted per frame (after serialization);
-	// returning true discards the frame. Used to inject loss in tests.
+	// returning true discards the frame. Retained as a shim for tests that
+	// predate the structured fault layer — new code should use SetDown or
+	// SetLoss, whose drops are attributed in Stats.
 	Drop func(Frame) bool
 
-	tap *Tap
+	// Stats counts delivered and discarded frames for both directions.
+	Stats LinkStats
+
+	down bool
+	loss *LossModel
+	tap  *Tap
 }
+
+// SetDown raises or clears the link's administrative down state. While
+// down, every frame that finishes serializing (either direction) is
+// discarded and counted in Stats.DroppedDown; frames already propagating
+// are delivered (they left the wire before the cut).
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// IsDown reports the administrative state.
+func (l *Link) IsDown() bool { return l.down }
+
+// SetLoss installs (or, with nil, removes) a probabilistic loss model.
+func (l *Link) SetLoss(m *LossModel) { l.loss = m }
+
+// Loss returns the currently installed loss model, if any.
+func (l *Link) Loss() *LossModel { return l.loss }
+
+// Name labels the link by its endpoint ports, for traces and diagnostics.
+func (l *Link) Name() string { return l.A.Name + "<->" + l.B.Name }
 
 // Tap is a passive capture point on a link: every frame (both directions)
 // is recorded with its virtual transmission-complete time, ready for
@@ -189,7 +274,18 @@ func (d *linkDir) txDone() {
 			Data:      append([]byte(nil), f...),
 		})
 	}
-	if l.Drop == nil || !l.Drop(f) {
+	switch {
+	case l.down:
+		l.Stats.Dropped++
+		l.Stats.DroppedDown++
+	case l.loss != nil && l.loss.drop(d.eng.Now()):
+		l.Stats.Dropped++
+		l.Stats.DroppedLoss++
+	case l.Drop != nil && l.Drop(f):
+		l.Stats.Dropped++
+		l.Stats.DroppedHook++
+	default:
+		l.Stats.Delivered++
 		d.propagate(f)
 	}
 	if next, ok := d.q.TryGet(); ok {
@@ -211,10 +307,26 @@ type Switch struct {
 	Name         string
 	ForwardDelay simtime.Duration
 
+	// Dropped counts frames discarded because the switch was down.
+	Dropped uint64
+
 	eng   *simtime.Engine
 	ports []*Port
+	links []*Link
 	fdb   map[packet.MAC]int // MAC → port index
+	down  bool
 }
+
+// SetDown fails or restores the whole switch. While down, every frame that
+// reaches the forwarding stage is discarded and counted in Dropped; the
+// attached links themselves stay up (hosts see total loss, not link down).
+func (s *Switch) SetDown(down bool) { s.down = down }
+
+// IsDown reports whether the switch is failed.
+func (s *Switch) IsDown() bool { return s.down }
+
+// Links returns the links created by AttachPort, in attach order.
+func (s *Switch) Links() []*Link { return s.links }
 
 // NewSwitch returns a switch with no ports.
 func NewSwitch(eng *simtime.Engine, name string, forwardDelay simtime.Duration) *Switch {
@@ -222,12 +334,14 @@ func NewSwitch(eng *simtime.Engine, name string, forwardDelay simtime.Duration) 
 }
 
 // AttachPort creates a new switch port, connects it to peer with a link of
-// the given speed, and starts forwarding for it.
-func (s *Switch) AttachPort(peer *Port, bandwidth float64, prop simtime.Duration) {
+// the given speed, and starts forwarding for it. The created link is
+// returned (and retained in Links) so faults can target it.
+func (s *Switch) AttachPort(peer *Port, bandwidth float64, prop simtime.Duration) *Link {
 	idx := len(s.ports)
 	sp := NewPort(s.eng, s.Name+".p"+itoa(idx))
 	s.ports = append(s.ports, sp)
-	Connect(s.eng, sp, peer, bandwidth, prop)
+	l := Connect(s.eng, sp, peer, bandwidth, prop)
+	s.links = append(s.links, l)
 	// Per-port forwarding runs as a callback pipeline: hold each frame for
 	// the fixed lookup delay, then forward; arrivals during the delay queue
 	// on the port.
@@ -235,6 +349,7 @@ func (s *Switch) AttachPort(peer *Port, bandwidth float64, prop simtime.Duration
 	fw.serve = fw.start
 	fw.done = s.eng.NewTimer(fw.fwdDone)
 	sp.RX.OnNext(fw.serve)
+	return l
 }
 
 // switchPort is one switch port's store-and-forward state machine.
@@ -264,6 +379,10 @@ func (f *switchPort) fwdDone() {
 }
 
 func (s *Switch) forward(in int, f Frame) {
+	if s.down {
+		s.Dropped++
+		return
+	}
 	if len(f) < 14 {
 		return // runt frame
 	}

@@ -91,6 +91,10 @@ func (i *idev) QueryGID(p *simtime.Proc) (packet.GID, error) {
 	return gid, err
 }
 
+// Unwrap exposes the wrapped device so capability probes (AsAsync) can
+// look through the instrumentation.
+func (i *idev) Unwrap() Device { return i.d }
+
 func (i *idev) Close(p *simtime.Proc) error {
 	vc := i.r.BeginVerb(p, rnic.VerbCloseDevice.String(), i.actor)
 	err := i.d.Close(p)

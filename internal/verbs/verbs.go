@@ -38,6 +38,10 @@ type (
 	WCStatus = rnic.WCStatus
 	// AddressVector names a remote endpoint.
 	AddressVector = rnic.AddressVector
+	// AsyncEvent is a device-level asynchronous event (ibv_async_event).
+	AsyncEvent = rnic.AsyncEvent
+	// AsyncEventType discriminates async events.
+	AsyncEventType = rnic.AsyncEventType
 )
 
 // Re-exported constants.
@@ -66,6 +70,10 @@ const (
 	StateRTR   = rnic.StateRTR
 	StateRTS   = rnic.StateRTS
 	StateError = rnic.StateError
+
+	EventQPFatal  = rnic.EventQPFatal
+	EventPortDown = rnic.EventPortDown
+	EventPortUp   = rnic.EventPortUp
 )
 
 // Attr carries modify_qp arguments at the API level. Applications name the
@@ -174,6 +182,38 @@ type AsyncCQ interface {
 	TryGet() (WC, bool)
 	// PollCost is the poll_cq cost the consumer must charge per completion.
 	PollCost() simtime.Duration
+}
+
+// AsyncDevice is an optional Device capability mirroring
+// ibv_get_async_event: fatal QP errors the hardware decides on its own
+// (retry exhaustion, RNR exhaustion, fatal remote NAK) and port state
+// changes arrive as events instead of dying silently in the device. The
+// provider delivers only events that concern this device context — a
+// virtualized provider filters QP-fatal events to the guest that owns the
+// QP and models its interrupt-injection latency. Use AsAsync to discover
+// the capability through the Instrument wrapper.
+type AsyncDevice interface {
+	Device
+	// GetAsyncEvent blocks until the next async event.
+	GetAsyncEvent(p *simtime.Proc) AsyncEvent
+	// GetAsyncEventTimeout is GetAsyncEvent with a deadline.
+	GetAsyncEventTimeout(p *simtime.Proc, d simtime.Duration) (AsyncEvent, bool)
+	// TryAsyncEvent pops a pending event without blocking.
+	TryAsyncEvent() (AsyncEvent, bool)
+}
+
+// AsAsync reports d's async-event capability, unwrapping instrumentation.
+func AsAsync(d Device) (AsyncDevice, bool) {
+	for {
+		if a, ok := d.(AsyncDevice); ok {
+			return a, true
+		}
+		u, ok := d.(interface{ Unwrap() Device })
+		if !ok {
+			return nil, false
+		}
+		d = u.Unwrap()
+	}
 }
 
 // AsyncQP is the matching QP capability for callback-style posting on the

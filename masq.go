@@ -2,6 +2,7 @@ package masq
 
 import (
 	"masq/internal/bench"
+	"masq/internal/chaos"
 	"masq/internal/cluster"
 	"masq/internal/controller"
 	"masq/internal/hyper"
@@ -203,6 +204,46 @@ const (
 	StateRTR   = verbs.StateRTR
 	StateRTS   = verbs.StateRTS
 	StateError = verbs.StateError
+)
+
+// --- Chaos (fault injection) -------------------------------------------------
+
+type (
+	// ChaosPlan is a schedule of network/VM faults armed on a testbed
+	// via Config.Chaos or Testbed.Chaos.Arm.
+	ChaosPlan = chaos.Plan
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+	// ChaosInjector applies a plan and records the applied-fault trace.
+	ChaosInjector = chaos.Injector
+	// AsyncEvent is an RDMA asynchronous event (QP fatal, port down/up)
+	// read from an AsyncDevice.
+	AsyncEvent = verbs.AsyncEvent
+	// AsyncDevice is the async-event side channel of a verbs Device.
+	AsyncDevice = verbs.AsyncDevice
+)
+
+// Chaos fault constructors and helpers.
+var (
+	// ChaosOutage cuts a link for a window.
+	ChaosOutage = chaos.Outage
+	// ChaosLoss installs a seeded (burst) loss model for a window.
+	ChaosLoss = chaos.Loss
+	// ChaosFlap cuts a link periodically inside a window.
+	ChaosFlap = chaos.Flap
+	// ChaosCrash kills a testbed node (by creation index) at a time.
+	ChaosCrash = chaos.Crash
+	// RandomChaosPlan derives a pure, seeded random fault schedule.
+	RandomChaosPlan = chaos.RandomPlan
+	// AsAsync unwraps a Device's async-event channel, if it has one.
+	AsAsync = verbs.AsAsync
+)
+
+// Async event types.
+const (
+	EventQPFatal  = verbs.EventQPFatal
+	EventPortDown = verbs.EventPortDown
+	EventPortUp   = verbs.EventPortUp
 )
 
 // RNICParams exposes the device calibration knobs.
