@@ -19,6 +19,7 @@ import (
 func main() {
 	kill := flag.Bool("kill", true, "revoke a rule at the end to show RConntrack enforcement")
 	doChaos := flag.Bool("chaos", true, "inject a link outage and a VM crash at the end and dump fault counters")
+	ctrlCrash := flag.Bool("ctrlcrash", true, "crash and restart the controller at the end; show grace-mode renames, the epoch bump, and lease-driven reconvergence")
 	flag.Parse()
 
 	cfg := masq.DefaultConfig()
@@ -27,6 +28,13 @@ func main() {
 	// a few simulated milliseconds instead of tens.
 	cfg.RNIC.RetransTimeout = masq.Us(500)
 	cfg.RNIC.MaxRetry = 3
+	if *ctrlCrash {
+		// The controller-crash demo needs push-down (so rename caches are
+		// warm before the crash) and a grace TTL generous enough to cover
+		// entries seeded when the scenario started.
+		cfg.Masq.PushDown = true
+		cfg.Masq.GraceTTL = masq.Ms(500)
+	}
 	tb := masq.NewTestbed(cfg)
 	acme := tb.AddTenant(100, "acme")
 	globex := tb.AddTenant(200, "globex")
@@ -84,6 +92,12 @@ func main() {
 		tb.Ctrl.Stats.Timeouts, tb.Ctrl.Stats.DroppedReplies)
 	fmt.Printf("controller pushes: %d sent, %d delivered, %d dropped\n",
 		tb.Ctrl.Stats.NotifySent, tb.Ctrl.Stats.NotifyDelivered, tb.Ctrl.Stats.NotifyDropped)
+	fmt.Printf("controller epoch %d: %d crashes, %d restarts; leases: %d renewed, %d expired; %d updates lost in crashes, %d queued pushes wiped\n",
+		tb.Ctrl.Epoch(), tb.Ctrl.Stats.Crashes, tb.Ctrl.Stats.Restarts,
+		tb.Ctrl.Stats.Renewals, tb.Ctrl.Stats.LeaseExpired,
+		tb.Ctrl.Stats.LostUpdates, tb.Ctrl.Stats.NotifyWiped)
+	fmt.Printf("controller subscriber queue depth HWMs: %v (overall %d)\n",
+		tb.Ctrl.QueueHWMs(), tb.Ctrl.Stats.NotifyQueueHWM)
 
 	fmt.Println("\n=== per-host MasQ backends ===")
 	for i := range tb.Hosts {
@@ -95,6 +109,13 @@ func main() {
 			be.Stats.Renames, be.Stats.StaleRenames)
 		fmt.Printf("  controller queries: %d retries, %d gave up\n",
 			be.Stats.QueryRetries, be.Stats.QueryFailures)
+		fmt.Printf("  epoch %d (%d bumps): %d stale pushes fenced, %d notify gaps, %d resyncs\n",
+			be.Epoch(), be.Stats.EpochBumps, be.Stats.FencedNotifies,
+			be.Stats.NotifyGaps, be.Stats.Resyncs)
+		fmt.Printf("  leases: %d renewed, %d failed; grace: %d renames, %d expired, %d revalidated, %d reset\n",
+			be.Stats.LeaseRenewals, be.Stats.LeaseRenewFailures,
+			be.Stats.GraceRenames, be.Stats.GraceExpired,
+			be.Stats.GraceRevalidated, be.Stats.GraceResets)
 		conns := be.CT.Conns()
 		sort.Slice(conns, func(a, b int) bool { return conns[a].QPN < conns[b].QPN })
 		fmt.Printf("  RCT table (%d established connections):\n", len(conns))
@@ -220,6 +241,75 @@ func main() {
 			st := n.OOB.Stats
 			fmt.Printf("oob %-3s: %d SYN retx, %d DATA retx, %d dup DATA, %d resets\n",
 				n.Name, st.SynRetx, st.DataRetx, st.DupData, st.Resets)
+		}
+	}
+
+	if *ctrlCrash {
+		fmt.Println("\n=== controller crash: epochs, leases, grace mode ===")
+		// Re-allow acme (the enforcement demo revoked its rule) so the
+		// in-the-dark connection below passes the security policy.
+		tb.AllowAll(100)
+		// Pre-build the endpoints now — MR pinning costs milliseconds of
+		// virtual time — so only the QP state walk lands inside the outage.
+		var dep, dsep *cluster.Endpoint
+		tb.Eng.Spawn("dark-setup", func(p *simtime.Proc) {
+			var err error
+			if dep, err = a1.Setup(p, cluster.DefaultEndpointOpts()); err != nil {
+				panic(err)
+			}
+			if dsep, err = a2.Setup(p, cluster.DefaultEndpointOpts()); err != nil {
+				panic(err)
+			}
+		})
+		tb.Eng.Run()
+
+		now := tb.Eng.Now()
+		crashAt := now.Add(masq.Ms(1))
+		restartAt := crashAt.Add(masq.Ms(10))
+		epochBefore := tb.Ctrl.Epoch()
+		tb.StartLeases(restartAt.Add(masq.Ms(20)))
+		tb.CrashController(crashAt, restartAt)
+
+		var downSeen, graced bool
+		tb.Eng.Spawn("connect-in-the-dark", func(p *simtime.Proc) {
+			p.Sleep(crashAt.Add(masq.Ms(2)).Sub(p.Now()))
+			be := tb.Backend(0)
+			downSeen = be.CtrlDown()
+			before := be.Stats.GraceRenames
+			se, ce := cluster.Pair(tb.Eng, dsep, dep, 7002)
+			if err := se.Wait(p); err != nil {
+				panic(err)
+			}
+			if err := ce.Wait(p); err != nil {
+				panic(err)
+			}
+			graced = be.Stats.GraceRenames > before
+		})
+		// Leases lazily expire once renewals stop, so read the reconverged
+		// table mid-run rather than after the engine drains.
+		var acmeMaps, globexMaps int
+		tb.Eng.At(restartAt.Add(masq.Ms(10)), func() {
+			acmeMaps, globexMaps = len(tb.Ctrl.Dump(100)), len(tb.Ctrl.Dump(200))
+		})
+		tb.Eng.Run()
+
+		fmt.Printf("controller dark for [%v, %v); leases renew every %v\n",
+			crashAt, restartAt, cfg.Masq.LeaseRenewEvery)
+		fmt.Printf("backend had detected the outage before connecting: %v\n", downSeen)
+		fmt.Printf("a1 -> a2 RC connection established in the dark; rename grace-served from cache: %v\n", graced)
+		fmt.Printf("controller epoch %d -> %d (%d crash, %d restart); restarted empty, rebuilt by lease re-registration\n",
+			epochBefore, tb.Ctrl.Epoch(), tb.Ctrl.Stats.Crashes, tb.Ctrl.Stats.Restarts)
+		fmt.Printf("table 10 ms after restart: VNI 100 has %d mappings, VNI 200 has %d\n",
+			acmeMaps, globexMaps)
+		if *doChaos {
+			fmt.Println("(g2 was crashed earlier and stayed out — reconvergence resurrects no ghosts)")
+		}
+		for i := range tb.Hosts {
+			be := tb.Backend(i)
+			fmt.Printf("host%d: epoch %d (%d bumps); grace: %d renames, %d revalidated, %d reset; leases: %d renewed, %d failed\n",
+				i, be.Epoch(), be.Stats.EpochBumps, be.Stats.GraceRenames,
+				be.Stats.GraceRevalidated, be.Stats.GraceResets,
+				be.Stats.LeaseRenewals, be.Stats.LeaseRenewFailures)
 		}
 	}
 }

@@ -14,6 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-rename", "abl-cache", "abl-conntrack", "abl-qos",
 		"abl-virtio-batch", "abl-nic-cache", "abl-mtu", "abl-transport",
 		"abl-ctrl-faults", "abl-trace-overhead", "abl-chaos",
+		"abl-ctrl-crash",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

@@ -45,6 +45,14 @@ const (
 	// node by index; the cluster layer supplies the OnCrash callback that
 	// performs the actual teardown.
 	NodeCrash
+	// CtrlCrash kills the SDN controller at At (and restarts it at Until,
+	// if nonzero): its mapping table and pending notifications are lost,
+	// and every control RPC times out until restart. The cluster layer
+	// supplies the OnCtrlCrash/OnCtrlRestart callbacks.
+	CtrlCrash
+	// CtrlRestart restarts a crashed controller at At (empty table, new
+	// epoch).
+	CtrlRestart
 )
 
 func (k Kind) String() string {
@@ -63,6 +71,10 @@ func (k Kind) String() string {
 		return "switch-up"
 	case NodeCrash:
 		return "node-crash"
+	case CtrlCrash:
+		return "ctrl-crash"
+	case CtrlRestart:
+		return "ctrl-restart"
 	}
 	return "unknown"
 }
@@ -124,12 +136,21 @@ func Crash(node int, t simtime.Time) Event {
 	return Event{Kind: NodeCrash, At: t, Node: node}
 }
 
+// CtrlOutage returns a controller crash at from with a restart at to: the
+// control plane is dark for [from, to), comes back empty, and the edge
+// reconverges it. A zero to crashes without recovery.
+func CtrlOutage(from, to simtime.Time) Event {
+	return Event{Kind: CtrlCrash, At: from, Until: to}
+}
+
 // Stats counts faults the injector actually applied.
 type Stats struct {
 	LinkTransitions   uint64 // down/up edges applied to links (flaps included)
 	LossWindows       uint64 // loss models installed
 	SwitchTransitions uint64 // down/up edges applied to switches
 	Crashes           uint64 // node crashes fired
+	CtrlCrashes       uint64 // controller crashes fired
+	CtrlRestarts      uint64 // controller restarts fired
 }
 
 // Injector arms a Plan on an engine and records the applied-fault trace.
@@ -140,6 +161,12 @@ type Injector struct {
 	// event's virtual time) for every NodeCrash event. The cluster layer
 	// wires it to Testbed.CrashNode.
 	OnCrash func(node int)
+
+	// OnCtrlCrash/OnCtrlRestart, when set, are invoked for CtrlCrash and
+	// CtrlRestart events (and a CtrlCrash event's Until edge). The cluster
+	// layer wires them to Controller.Crash and Controller.Restart.
+	OnCtrlCrash   func()
+	OnCtrlRestart func()
 
 	// OnLinkState, when set, is invoked after every applied link
 	// transition (edge-filtered: only real state changes). The cluster
@@ -184,6 +211,13 @@ func (in *Injector) Arm(pl Plan) {
 			in.at(ev.At, func() { in.setSwitch(ev.Switch, false) })
 		case NodeCrash:
 			in.at(ev.At, func() { in.crash(ev.Node) })
+		case CtrlCrash:
+			in.at(ev.At, in.ctrlCrash)
+			if ev.Until > ev.At {
+				in.at(ev.Until, in.ctrlRestart)
+			}
+		case CtrlRestart:
+			in.at(ev.At, in.ctrlRestart)
 		}
 	}
 }
@@ -265,6 +299,22 @@ func (in *Injector) crash(node int) {
 	}
 }
 
+func (in *Injector) ctrlCrash() {
+	in.Stats.CtrlCrashes++
+	in.record("ctrl crash")
+	if in.OnCtrlCrash != nil {
+		in.OnCtrlCrash()
+	}
+}
+
+func (in *Injector) ctrlRestart() {
+	in.Stats.CtrlRestarts++
+	in.record("ctrl restart")
+	if in.OnCtrlRestart != nil {
+		in.OnCtrlRestart()
+	}
+}
+
 func (in *Injector) record(format string, args ...any) {
 	in.trace = append(in.trace, fmt.Sprintf("t=%d %s", int64(in.eng.Now()), fmt.Sprintf(format, args...)))
 }
@@ -287,14 +337,31 @@ func lossSeed(seed int64, i int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// PlanOption extends RandomPlan with opt-in fault families. Options draw
+// from the PRNG only after the base schedule, so a plan built with no
+// options is byte-identical to one built by an older RandomPlan.
+type PlanOption func(rng *rand.Rand, horizon simtime.Duration, pl *Plan)
+
+// WithCtrlCrashes schedules n controller crash+restart outages inside the
+// middle 70% of the horizon, each lasting 2–10% of it.
+func WithCtrlCrashes(n int) PlanOption {
+	return func(rng *rand.Rand, horizon simtime.Duration, pl *Plan) {
+		for i := 0; i < n; i++ {
+			start := simtime.Time(float64(horizon) * (0.1 + 0.7*rng.Float64()))
+			dur := simtime.Duration(float64(horizon) * (0.02 + 0.08*rng.Float64()))
+			pl.Events = append(pl.Events, CtrlOutage(start, start.Add(dur)))
+		}
+	}
+}
+
 // RandomPlan draws a seeded random fault schedule over [0, horizon) on the
 // given links: faults events, each a loss window (even draws), an outage
 // (every fourth) or a flap (the rest). maxProb caps loss-window severity.
 // Faults start inside the middle 70% of the horizon and last 2–10% of it,
-// so workloads have fault-free warm-up and drain phases. The result is a
-// pure function of its arguments — the same seed always yields the same
-// plan.
-func RandomPlan(seed int64, links []*simnet.Link, horizon simtime.Duration, faults int, maxProb float64) Plan {
+// so workloads have fault-free warm-up and drain phases. Options append
+// further fault families (e.g. WithCtrlCrashes). The result is a pure
+// function of its arguments — the same seed always yields the same plan.
+func RandomPlan(seed int64, links []*simnet.Link, horizon simtime.Duration, faults int, maxProb float64, opts ...PlanOption) Plan {
 	rng := rand.New(rand.NewSource(seed))
 	pl := Plan{Seed: seed}
 	for i := 0; i < faults && len(links) > 0; i++ {
@@ -313,6 +380,11 @@ func RandomPlan(seed int64, links []*simnet.Link, horizon simtime.Duration, faul
 			period := dur / simtime.Duration(2+rng.Intn(3))
 			pl.Events = append(pl.Events, Flap(l, start, end, period, period/4))
 		}
+	}
+	// Options draw strictly after the base loop: no-option plans keep the
+	// exact event sequence older callers got.
+	for _, opt := range opts {
+		opt(rng, horizon, &pl)
 	}
 	// Sort by start time: plan readability only; arming is order-blind and
 	// loss seeds are derived after sorting, so the plan stays a pure

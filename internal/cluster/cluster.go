@@ -117,12 +117,13 @@ type Testbed struct {
 	// Trace is the cross-layer span recorder, non-nil iff Cfg.Trace.
 	Trace *trace.Recorder
 
-	masqMode  masq.Mode
-	routers   []*freeflow.Router // per host, lazy
-	neighbors map[packet.IP]packet.MAC
-	nodes     []*Node // in creation order; chaos NodeCrash indexes this
-	vfSeq     byte
-	nodeSeq   int
+	masqMode   masq.Mode
+	routers    []*freeflow.Router // per host, lazy
+	neighbors  map[packet.IP]packet.MAC
+	nodes      []*Node // in creation order; chaos NodeCrash indexes this
+	vfSeq      byte
+	nodeSeq    int
+	leaseUntil simtime.Time // nonzero once StartLeases ran; late backends join
 }
 
 // New assembles a testbed. Two hosts are directly connected; more hang off
@@ -181,6 +182,8 @@ func New(cfg Config) *Testbed {
 			_ = tb.CrashNode(tb.nodes[node])
 		}
 	}
+	tb.Chaos.OnCtrlCrash = func() { tb.Ctrl.Crash() }
+	tb.Chaos.OnCtrlRestart = func() { tb.Ctrl.Restart() }
 	tb.Chaos.OnLinkState = func(l *simnet.Link, down bool) {
 		// A cable cut is visible to both adjacent RNICs as a port event.
 		for _, h := range tb.Hosts {
@@ -225,8 +228,35 @@ func (tb *Testbed) Backend(hostIdx int) *masq.Backend {
 	if tb.Backends[hostIdx] == nil {
 		tb.Backends[hostIdx] = masq.NewBackend(tb.Hosts[hostIdx], tb.Ctrl, tb.Fab, tb.Cfg.Masq, tb.masqMode)
 		tb.Backends[hostIdx].SetRecorder(tb.Trace)
+		if tb.leaseUntil != 0 {
+			tb.Backends[hostIdx].StartLeaseRenewal(tb.leaseUntil)
+		}
 	}
 	return tb.Backends[hostIdx]
+}
+
+// StartLeases starts every backend's lease-renewal process, running until
+// the given horizon. Backends created later (lazily, by the first MasQ node
+// on a host) join automatically. Renewals keep controller registrations
+// alive past their LeaseTTL and double as the failure detector that drives
+// post-crash reconciliation.
+func (tb *Testbed) StartLeases(until simtime.Time) {
+	tb.leaseUntil = until
+	for _, b := range tb.Backends {
+		if b != nil {
+			b.StartLeaseRenewal(until)
+		}
+	}
+}
+
+// CrashController schedules a controller crash at the given instant and,
+// when restart is nonzero, a restart at that later instant. The crash wipes
+// the controller's mapping table and pending notification queues and is
+// recorded in the chaos trace; the restart bumps the epoch, fencing any
+// stale state. Recovery is driven by the backends' lease renewals (see
+// StartLeases), which re-register live endpoints and re-request push-down.
+func (tb *Testbed) CrashController(at, restart simtime.Time) {
+	tb.Chaos.Arm(chaos.Plan{Seed: 1, Events: []chaos.Event{chaos.CtrlOutage(at, restart)}})
 }
 
 // Router returns (creating on demand) the FreeFlow router of a host.

@@ -12,6 +12,15 @@
 // coherence is eventually consistent), and queries can time out under an
 // injected fault plan (unavailability windows, dropped replies) so callers
 // must retry.
+//
+// The controller is also mortal. Crash wipes the mapping table and every
+// pending notification and marks the service down; Restart brings it back
+// empty under a new epoch. Nothing is persisted: recovery is edge-driven —
+// each host re-registers its live endpoints when lease renewal reveals the
+// new epoch (see internal/masq). Registrations are held as leases when
+// LeaseTTL is set: entries not renewed within the TTL expire lazily, at
+// RPC read time, so a host that died silently stops being routable without
+// any background sweeper.
 package controller
 
 import (
@@ -24,9 +33,9 @@ import (
 )
 
 // ErrUnavailable is returned by Lookup when a query times out: the
-// controller was inside an unavailability window or the reply was lost.
-// The caller saw no answer within QueryTimeout and should back off and
-// retry.
+// controller was inside an unavailability window, crashed, or the reply
+// was lost. The caller saw no answer within QueryTimeout and should back
+// off and retry.
 var ErrUnavailable = errors.New("controller: query timed out")
 
 // Params model controller access costs and notification-channel behaviour.
@@ -48,6 +57,16 @@ type Params struct {
 	// drawn from a PRNG seeded with Seed, so runs are reproducible.
 	NotifyDropProb float64
 
+	// LeaseTTL turns registrations into leases: an entry not re-asserted
+	// (Register/Renew) within the TTL expires and stops resolving. Zero
+	// keeps the historical immortal-registration behaviour.
+	LeaseTTL simtime.Duration
+
+	// DumpEntryCost is the per-entry serialization cost of FetchDump, the
+	// charged push-down seeding RPC: a whole-tenant dump costs
+	// QueryRTT + entries × DumpEntryCost.
+	DumpEntryCost simtime.Duration
+
 	// Seed seeds the notification-loss PRNG.
 	Seed int64
 }
@@ -56,10 +75,11 @@ type Params struct {
 // same-instant notification channel (the historical behaviour).
 func DefaultParams() Params {
 	return Params{
-		QueryRTT:     simtime.Us(100),
-		UpdateCost:   simtime.Us(5),
-		QueryTimeout: simtime.Ms(1),
-		Seed:         1,
+		QueryRTT:      simtime.Us(100),
+		UpdateCost:    simtime.Us(5),
+		QueryTimeout:  simtime.Ms(1),
+		DumpEntryCost: simtime.Us(1),
+		Seed:          1,
 	}
 }
 
@@ -114,7 +134,7 @@ type Key struct {
 type Stats struct {
 	Queries, Hits, Updates, Removals uint64
 
-	// Timeouts counts queries that got no reply (window + dropped).
+	// Timeouts counts queries that got no reply (window + dropped + down).
 	Timeouts uint64
 	// DroppedReplies counts replies lost via FaultPlan.DropReplies.
 	DroppedReplies uint64
@@ -123,21 +143,56 @@ type Stats struct {
 	NotifySent      uint64 // notifications enqueued toward subscribers
 	NotifyDropped   uint64 // lost in flight (NotifyDropProb)
 	NotifyDelivered uint64 // applied by a subscriber callback
+	NotifyWiped     uint64 // queued notifications destroyed by Crash
+
+	// NotifyQueueHWM is the deepest any subscriber's delivery queue has
+	// ever been — the visible notification backlog during outages and
+	// push-down storms (per-subscriber marks via QueueHWMs).
+	NotifyQueueHWM int
+
+	// Crash/recovery accounting.
+	Crashes      uint64 // Crash invocations
+	Restarts     uint64 // Restart invocations (each bumps the epoch)
+	Renewals     uint64 // successful Renew RPCs
+	LeaseExpired uint64 // entries lazily purged after their lease lapsed
+	LostUpdates  uint64 // Register/Unregister attempts while down
 }
 
-// notification is one queued push toward a subscriber.
-type notification struct {
-	k       Key
-	m       Mapping
-	removed bool
+// Notify is one push notification as a subscriber sees it: the table
+// change plus the fencing metadata. Epoch is the controller incarnation
+// that produced it — backends drop notifications from an epoch older than
+// one they have already observed. Seq is the per-subscriber sequence
+// number, counting every notification addressed to that subscriber
+// (including ones lost in flight), so receivers can detect gaps.
+type Notify struct {
+	Key     Key
+	Mapping Mapping
+	Removed bool
+	Epoch   uint64
+	Seq     uint64
 }
 
-// subscriber is one backend's delivery channel: a FIFO queue drained by a
-// dedicated DES process, so pushes arrive in order but asynchronously.
-type subscriber struct {
-	fn func(Key, Mapping, bool)
-	q  *simtime.Queue[notification]
+// Subscription is one backend's delivery channel: a FIFO queue drained by
+// a dedicated DES process, so pushes arrive in order but asynchronously.
+// Its accessors let the subscriber audit the channel: Seq is the highest
+// sequence number addressed to it, Pending the queue depth, HighWater the
+// deepest backlog ever observed.
+type Subscription struct {
+	fn  func(Notify)
+	q   *simtime.Queue[Notify]
+	seq uint64
+	hwm int
 }
+
+// Seq returns the highest sequence number addressed to this subscriber
+// (delivered, queued, or lost in flight).
+func (s *Subscription) Seq() uint64 { return s.seq }
+
+// Pending returns the current delivery-queue depth.
+func (s *Subscription) Pending() int { return s.q.Len() }
+
+// HighWater returns the deepest the delivery queue has ever been.
+func (s *Subscription) HighWater() int { return s.hwm }
 
 // Controller is the mapping service.
 type Controller struct {
@@ -145,56 +200,141 @@ type Controller struct {
 	Stats Stats
 
 	eng   *simtime.Engine
-	table map[Key]Mapping
-	subs  []*subscriber
+	table map[Key]entry
+	subs  []*Subscription
 	fault FaultPlan
 	rng   *rand.Rand
 	rec   *trace.Recorder
+
+	epoch uint64
+	down  bool
+}
+
+// entry is one table row: the mapping, the epoch it was written under, and
+// its lease deadline (zero when leases are disabled).
+type entry struct {
+	m       Mapping
+	epoch   uint64
+	expires simtime.Time
 }
 
 // SetRecorder attaches a trace recorder; query and notification work is
 // then recorded as controller-layer spans. A nil recorder is valid.
 func (c *Controller) SetRecorder(r *trace.Recorder) { c.rec = r }
 
-// New returns an empty controller.
+// New returns an empty controller in epoch 1.
 func New(eng *simtime.Engine, p Params) *Controller {
 	return &Controller{
 		P:     p,
 		eng:   eng,
-		table: make(map[Key]Mapping),
+		table: make(map[Key]entry),
 		rng:   rand.New(rand.NewSource(p.Seed)),
+		epoch: 1,
 	}
 }
 
 // SetFaultPlan arms (or replaces) the fault-injection plan.
 func (c *Controller) SetFaultPlan(fp FaultPlan) { c.fault = fp }
 
+// Epoch returns the current controller incarnation. It bumps on every
+// Restart; mappings, notifications, and RPC replies all carry it.
+func (c *Controller) Epoch() uint64 { return c.epoch }
+
+// Down reports whether the controller is crashed (test/ops oracle).
+func (c *Controller) Down() bool { return c.down }
+
+// Crash kills the controller: the in-memory mapping table and every queued
+// (undelivered) notification are destroyed, and all RPCs time out until
+// Restart. Nothing is persisted — recovery relies entirely on the edge
+// re-registering (see Renew).
+func (c *Controller) Crash() {
+	if c.down {
+		return
+	}
+	c.down = true
+	c.Stats.Crashes++
+	c.table = make(map[Key]entry)
+	for _, s := range c.subs {
+		for {
+			if _, ok := s.q.TryGet(); !ok {
+				break
+			}
+			c.Stats.NotifyWiped++
+		}
+	}
+}
+
+// Restart brings a crashed controller back with an empty table and a new
+// epoch. Backends discover the bump via lease renewal (or a fenced-epoch
+// notification) and reconverge the table by re-registering.
+func (c *Controller) Restart() {
+	if !c.down {
+		return
+	}
+	c.down = false
+	c.Stats.Restarts++
+	c.epoch++
+}
+
+// leaseExpiry returns the deadline for an entry written now.
+func (c *Controller) leaseExpiry(now simtime.Time) simtime.Time {
+	if c.P.LeaseTTL <= 0 {
+		return 0
+	}
+	return now.Add(c.P.LeaseTTL)
+}
+
+// live reports whether an entry's lease still holds at now.
+func (e entry) live(now simtime.Time) bool {
+	return e.expires == 0 || now < e.expires
+}
+
 // Register inserts or updates a mapping (vBond's notification on vGID
-// creation or change) and queues push notifications to subscribers.
+// creation or change) and queues push notifications to subscribers. While
+// the controller is down the update is simply lost — the edge's lease
+// renewal repairs it after Restart.
 func (c *Controller) Register(k Key, m Mapping) {
+	if c.down {
+		c.Stats.LostUpdates++
+		return
+	}
 	c.Stats.Updates++
-	c.table[k] = m
-	c.notify(notification{k: k, m: m})
+	c.table[k] = entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(c.eng.Now())}
+	c.notify(Notify{Key: k, Mapping: m})
 }
 
 // Unregister removes a mapping (VM shutdown / IP released) and queues
-// invalidations to subscribers.
+// invalidations to subscribers. Lost while the controller is down (the
+// lease, if any, eventually expires instead).
 func (c *Controller) Unregister(k Key) {
+	if c.down {
+		c.Stats.LostUpdates++
+		return
+	}
 	c.Stats.Removals++
 	delete(c.table, k)
-	c.notify(notification{k: k, removed: true})
+	c.notify(Notify{Key: k, Removed: true})
 }
 
 // notify fans one event out to every subscriber's delivery queue, applying
-// the loss model per subscriber.
-func (c *Controller) notify(n notification) {
+// the loss model per subscriber and stamping epoch + per-subscriber seq.
+func (c *Controller) notify(n Notify) {
+	n.Epoch = c.epoch
 	for _, s := range c.subs {
 		c.Stats.NotifySent++
+		s.seq++
+		n.Seq = s.seq
 		if c.P.NotifyDropProb > 0 && c.rng.Float64() < c.P.NotifyDropProb {
 			c.Stats.NotifyDropped++
 			continue
 		}
 		s.q.Put(n)
+		if d := s.q.Len(); d > s.hwm {
+			s.hwm = d
+			if d > c.Stats.NotifyQueueHWM {
+				c.Stats.NotifyQueueHWM = d
+			}
+		}
 	}
 }
 
@@ -203,9 +343,11 @@ func (c *Controller) notify(n notification) {
 // down the mappings in advance"). Delivery is asynchronous: each
 // subscriber owns a FIFO queue drained by a DES process that sleeps
 // NotifyDelay per notification, so a backend's cache view lags the
-// controller's table — eventually consistent, like a real SDN.
-func (c *Controller) Subscribe(fn func(k Key, m Mapping, removed bool)) {
-	s := &subscriber{fn: fn, q: simtime.NewQueue[notification](c.eng)}
+// controller's table — eventually consistent, like a real SDN. The
+// returned Subscription exposes the channel's fencing metadata (Seq,
+// Pending, HighWater) for the subscriber's reconciliation logic.
+func (c *Controller) Subscribe(fn func(Notify)) *Subscription {
+	s := &Subscription{fn: fn, q: simtime.NewQueue[Notify](c.eng)}
 	c.subs = append(c.subs, s)
 	c.eng.Spawn("controller.notify", func(p *simtime.Proc) {
 		for {
@@ -214,11 +356,63 @@ func (c *Controller) Subscribe(fn func(k Key, m Mapping, removed bool)) {
 			if d := c.P.NotifyDelay; d > 0 {
 				p.Sleep(d)
 			}
-			s.fn(n.k, n.m, n.removed)
+			s.fn(n)
 			sp.End(p)
 			c.Stats.NotifyDelivered++
 		}
 	})
+	return s
+}
+
+// QueueHWMs returns each subscriber's delivery-queue high-water mark, in
+// subscription order (observability: notification backlog per backend).
+func (c *Controller) QueueHWMs() []int {
+	out := make([]int, len(c.subs))
+	for i, s := range c.subs {
+		out[i] = s.hwm
+	}
+	return out
+}
+
+// inWindow reports whether t falls inside any unavailability window.
+func (c *Controller) inWindow(t simtime.Time) bool {
+	for _, w := range c.fault.Unavailable {
+		if w.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// rpc models one control RPC round trip under the fault plan. The
+// controller must be reachable at both the send instant AND the reply
+// instant — a window opening (or a crash landing) mid-RTT eats the reply,
+// and the caller waits out the full QueryTimeout exactly like any lost
+// answer. On success the caller has paid QueryRTT.
+func (c *Controller) rpc(p *simtime.Proc) error {
+	send := p.Now()
+	if c.down || c.inWindow(send) || c.inWindow(send.Add(c.P.QueryRTT)) {
+		c.Stats.Timeouts++
+		p.Sleep(c.P.queryTimeout())
+		return ErrUnavailable
+	}
+	if c.fault.DropReplies > 0 {
+		c.fault.DropReplies--
+		c.Stats.Timeouts++
+		c.Stats.DroppedReplies++
+		p.Sleep(c.P.queryTimeout())
+		return ErrUnavailable
+	}
+	p.Sleep(c.P.QueryRTT)
+	if c.down {
+		// Crashed while the request was in flight: the reply never comes.
+		c.Stats.Timeouts++
+		if rest := c.P.queryTimeout() - c.P.QueryRTT; rest > 0 {
+			p.Sleep(rest)
+		}
+		return ErrUnavailable
+	}
+	return nil
 }
 
 // Query performs a remote lookup, paying the query round trip. It is the
@@ -230,48 +424,110 @@ func (c *Controller) Query(p *simtime.Proc, k Key) (Mapping, bool) {
 }
 
 // Lookup performs one remote lookup attempt, modelling the RPC. On
-// success the caller pays QueryRTT and gets the table's answer. Under an
-// active fault — the send instant falls in an unavailability window, or
-// the fault plan eats the reply — the caller waits the full QueryTimeout
-// and gets ErrUnavailable; retrying is the caller's job.
+// success the caller pays QueryRTT and gets the table's answer (expired
+// leases are purged here, lazily). Under an active fault the caller waits
+// the full QueryTimeout and gets ErrUnavailable; retrying is the caller's
+// job. The reply is from epoch Epoch() — read it at the same instant.
 func (c *Controller) Lookup(p *simtime.Proc, k Key) (Mapping, bool, error) {
 	sp := c.rec.Begin(p, trace.LayerController, "lookup")
 	defer sp.End(p)
 	c.Stats.Queries++
-	for _, w := range c.fault.Unavailable {
-		if w.contains(p.Now()) {
-			c.Stats.Timeouts++
-			p.Sleep(c.P.queryTimeout())
-			return Mapping{}, false, ErrUnavailable
-		}
+	if err := c.rpc(p); err != nil {
+		return Mapping{}, false, err
 	}
-	if c.fault.DropReplies > 0 {
-		c.fault.DropReplies--
-		c.Stats.Timeouts++
-		c.Stats.DroppedReplies++
-		p.Sleep(c.P.queryTimeout())
-		return Mapping{}, false, ErrUnavailable
+	e, ok := c.table[k]
+	if ok && !e.live(p.Now()) {
+		delete(c.table, k)
+		c.Stats.LeaseExpired++
+		ok = false
 	}
-	p.Sleep(c.P.QueryRTT)
-	m, ok := c.table[k]
 	if ok {
 		c.Stats.Hits++
+		return e.m, true, nil
 	}
-	return m, ok, nil
+	return Mapping{}, false, nil
 }
 
-// Dump returns every mapping of a tenant. Backends use it to seed their
-// cache when push-down is enabled (avoiding even the first-query miss for
-// endpoints registered before the backend existed).
-func (c *Controller) Dump(vni uint32) map[Key]Mapping {
+// Renew is the lease-renewal RPC: the edge re-asserts that (k → m) is
+// live, extending the lease and re-creating the entry if the controller
+// lost it (crash, expiry). It returns the controller's current epoch so
+// callers discover restarts. A renewal that changes the table's view of k
+// (reinstatement or address change) notifies subscribers like a Register;
+// a pure extension is silent.
+func (c *Controller) Renew(p *simtime.Proc, k Key, m Mapping) (uint64, error) {
+	sp := c.rec.Begin(p, trace.LayerController, "renew")
+	defer sp.End(p)
+	if err := c.rpc(p); err != nil {
+		return 0, err
+	}
+	now := p.Now()
+	old, had := c.table[k]
+	if had && !old.live(now) {
+		c.Stats.LeaseExpired++
+		had = false
+	}
+	c.Stats.Renewals++
+	c.table[k] = entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(now)}
+	if !had || old.m != m {
+		c.notify(Notify{Key: k, Mapping: m})
+	}
+	return c.epoch, nil
+}
+
+// FetchDump is the charged, fault-aware whole-tenant dump RPC backends use
+// for push-down seeding and post-outage resync: it pays the query round
+// trip plus a size-proportional serialization cost, times out under the
+// fault plan like any other RPC, and returns the epoch of the snapshot.
+// (The serialization cost is charged before the snapshot is taken, so the
+// mappings the caller receives are current as of the RPC's return instant.)
+func (c *Controller) FetchDump(p *simtime.Proc, vni uint32) (map[Key]Mapping, uint64, error) {
+	sp := c.rec.Begin(p, trace.LayerController, "dump")
+	defer sp.End(p)
+	c.Stats.Queries++
+	if err := c.rpc(p); err != nil {
+		return nil, 0, err
+	}
+	if d := c.P.DumpEntryCost; d > 0 {
+		n := 0
+		for k, e := range c.table {
+			if k.VNI == vni && e.live(p.Now()) {
+				n++
+			}
+		}
+		if n > 0 {
+			p.Sleep(simtime.Duration(n) * d)
+		}
+	}
+	now := p.Now()
 	out := make(map[Key]Mapping)
-	for k, m := range c.table {
-		if k.VNI == vni {
-			out[k] = m
+	for k, e := range c.table {
+		if k.VNI != vni {
+			continue
+		}
+		if !e.live(now) {
+			delete(c.table, k)
+			c.Stats.LeaseExpired++
+			continue
+		}
+		out[k] = e.m
+	}
+	return out, c.epoch, nil
+}
+
+// Dump returns every live mapping of a tenant, instantly and regardless of
+// faults: it is the omniscient test/ops oracle, NOT an RPC the data plane
+// may use — backends seed and resync through FetchDump.
+func (c *Controller) Dump(vni uint32) map[Key]Mapping {
+	now := c.eng.Now()
+	out := make(map[Key]Mapping)
+	for k, e := range c.table {
+		if k.VNI == vni && e.live(now) {
+			out[k] = e.m
 		}
 	}
 	return out
 }
 
-// Size returns the table size (scalability accounting).
+// Size returns the raw table size, expired leases included (scalability
+// accounting; lazy expiry only runs on the RPC paths).
 func (c *Controller) Size() int { return len(c.table) }

@@ -87,8 +87,8 @@ func TestSubscribersSeeUpdatesAndRemovals(t *testing.T) {
 	eng := simtime.NewEngine()
 	c := New(eng, DefaultParams())
 	var adds, removes int
-	c.Subscribe(func(k Key, m Mapping, removed bool) {
-		if removed {
+	c.Subscribe(func(n Notify) {
+		if n.Removed {
 			removes++
 		} else {
 			adds++
@@ -120,8 +120,8 @@ func TestNotifyDelayDefersDelivery(t *testing.T) {
 		removed bool
 	}
 	var log []seen
-	c.Subscribe(func(k Key, m Mapping, removed bool) {
-		log = append(log, seen{at: eng.Now(), removed: removed})
+	c.Subscribe(func(n Notify) {
+		log = append(log, seen{at: eng.Now(), removed: n.Removed})
 	})
 	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(1, 1, 1, 1))}
 	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
@@ -148,7 +148,7 @@ func TestNotifyDropLosesNotifications(t *testing.T) {
 	p.NotifyDropProb = 1.0
 	c := New(eng, p)
 	delivered := 0
-	c.Subscribe(func(Key, Mapping, bool) { delivered++ })
+	c.Subscribe(func(Notify) { delivered++ })
 	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(1, 1, 1, 1))}
 	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
 	c.Unregister(k)
@@ -171,7 +171,7 @@ func TestNotifyDropDeterministic(t *testing.T) {
 		p.Seed = 42
 		c := New(eng, p)
 		got := make(map[byte]bool)
-		c.Subscribe(func(k Key, m Mapping, removed bool) { got[m.PIP[3]] = true })
+		c.Subscribe(func(n Notify) { got[n.Mapping.PIP[3]] = true })
 		for i := byte(1); i <= 16; i++ {
 			c.Register(Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, i))}, mapping(packet.NewIP(172, 16, 0, i)))
 		}

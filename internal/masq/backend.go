@@ -2,6 +2,7 @@ package masq
 
 import (
 	"fmt"
+	"sort"
 
 	"masq/internal/controller"
 	"masq/internal/hyper"
@@ -33,10 +34,30 @@ type Backend struct {
 	// RConntrack work as trace spans. Nil is valid and free.
 	Rec *trace.Recorder
 
-	cache   map[controller.Key]controller.Mapping
+	cache   map[controller.Key]cacheEntry
 	tenants map[uint32]*rnic.Func // QoS grouping: tenant → VF
 	qpOwner map[uint32]*session   // QPN → owning frontend (wire diagnosis)
-	Stats   struct {
+
+	// Controller-survival state. The backend tracks the controller's
+	// reachability and epoch; after an outage it reconverges through one
+	// serialized reconciliation process (see kickReconcile).
+	bonds      []*VBond                 // every vBond this backend created (lease holders)
+	sub        *controller.Subscription // our push-notification channel
+	seeded     map[uint32]bool          // VNIs whose cache is push-down seeded
+	resyncBase map[uint32]uint64        // per-VNI seq superseded by the last resync snapshot
+	epoch      uint64                   // highest controller epoch observed (fences stale pushes)
+	notifSeen  uint64                   // highest notification seq observed (gap detection)
+	ctrlDown   bool                     // last RPC timed out and none succeeded since
+	leasing    bool                     // lease-renewal process running
+
+	// Reconciliation work flags, drained by the single reconcile process.
+	needReassert bool // re-register every live vBond (epoch bump seen)
+	needResync   bool // replay the controller table over the cache
+	reconciling  bool
+	graceConns   []graceConn          // grace-established connections awaiting re-validation
+	graceSeen    map[ConnID]struct{}  // dedup for graceConns
+
+	Stats struct {
 		CacheHits, CacheMisses uint64
 		Renames                uint64
 
@@ -50,7 +71,37 @@ type Backend struct {
 		FatalEvents   uint64 // QP-fatal async events on QPs this backend owns
 		AsyncCleanups uint64 // RConntrack erasures triggered by fatal events
 		Crashes       uint64 // VMs torn down by Crash
+
+		// Controller crash/outage accounting.
+		GraceRenames       uint64 // renames served from a within-TTL cache entry during an outage
+		GraceExpired       uint64 // grace candidates rejected: entry older than GraceTTL
+		GraceRevalidated   uint64 // grace connections confirmed after the controller returned
+		GraceResets        uint64 // grace connections reset: the authoritative mapping had changed
+		FencedNotifies     uint64 // pushes dropped (stale epoch or superseded by a resync)
+		NotifyGaps         uint64 // lost-push detections (seq gap or lease-round audit)
+		Resyncs            uint64 // full FetchDump reconciliations performed
+		LeaseRenewals      uint64 // successful per-bond Renew RPCs
+		LeaseRenewFailures uint64 // Renew RPCs that timed out
+		EpochBumps         uint64 // controller restarts observed (epoch changes)
 	}
+}
+
+// cacheEntry is one rename-cache row: the mapping plus the instant the
+// controller last confirmed it (registration push, query reply, or dump).
+// The freshness timestamp is what grace mode trusts during outages.
+type cacheEntry struct {
+	m     controller.Mapping
+	fresh simtime.Time
+}
+
+// graceConn remembers a connection established from a grace-served cache
+// entry: the RCT identity plus the mapping the QPC was programmed with,
+// so re-validation can tell "still correct" from "moved while the
+// controller was dark".
+type graceConn struct {
+	id ConnID
+	k  controller.Key
+	m  controller.Mapping
 }
 
 // NewBackend creates the host driver and hooks it to the controller.
@@ -62,10 +113,13 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 		Ctrl:    ctrl,
 		Fab:     fab,
 		CT:      NewRConntrack(p, host.Dev),
-		VIO:     virtio.DefaultParams(),
-		cache:   make(map[controller.Key]controller.Mapping),
-		tenants: make(map[uint32]*rnic.Func),
-		qpOwner: make(map[uint32]*session),
+		VIO:        virtio.DefaultParams(),
+		cache:      make(map[controller.Key]cacheEntry),
+		tenants:    make(map[uint32]*rnic.Func),
+		qpOwner:    make(map[uint32]*session),
+		seeded:     make(map[uint32]bool),
+		resyncBase: make(map[uint32]uint64),
+		graceSeen:  make(map[ConnID]struct{}),
 	}
 	// The failure-reaction chain, backend half: when the RNIC moves an
 	// owned QP to ERROR on its own (retry exhaustion — typically a dead or
@@ -87,21 +141,60 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 			b.CT.Delete(p, qpn)
 		})
 	})
-	ctrl.Subscribe(func(k controller.Key, m controller.Mapping, removed bool) {
-		if removed {
-			if _, ok := b.cache[k]; ok {
-				b.Stats.Invalidations++
-			}
-			delete(b.cache, k)
-			return
-		}
-		if b.P.PushDown {
-			b.cache[k] = m // controller pushes mappings down in advance
-		} else if _, ok := b.cache[k]; ok {
-			b.cache[k] = m // keep cached entries fresh
-		}
-	})
+	b.sub = ctrl.Subscribe(b.onNotify)
 	return b
+}
+
+// onNotify applies one controller push. Before touching the cache it runs
+// the fencing protocol:
+//
+//   - epoch fence: a notification stamped with an epoch older than one we
+//     have already observed is from a dead controller incarnation and is
+//     dropped — a stale-epoch mapping must never be applied;
+//   - gap detection: the per-subscriber seq counts every notification
+//     addressed to us, so a jump reveals pushes lost in flight and
+//     schedules a resync;
+//   - supersede fence: a notification older than the last resync snapshot
+//     for its VNI is already folded into the cache (applying it would
+//     regress the entry), so it is dropped.
+func (b *Backend) onNotify(n controller.Notify) {
+	if n.Epoch < b.epoch {
+		b.Stats.FencedNotifies++
+		return
+	}
+	if n.Epoch > b.epoch {
+		b.observeEpoch(n.Epoch)
+	}
+	if n.Seq > b.notifSeen {
+		if n.Seq != b.notifSeen+1 {
+			b.Stats.NotifyGaps++
+			b.needResync = true
+			b.kickReconcile()
+		}
+		b.notifSeen = n.Seq
+	}
+	if n.Seq <= b.resyncBase[n.Key.VNI] {
+		b.Stats.FencedNotifies++
+		return
+	}
+	k := n.Key
+	if n.Removed {
+		if _, ok := b.cache[k]; ok {
+			b.Stats.Invalidations++
+		}
+		delete(b.cache, k)
+		return
+	}
+	if b.P.PushDown {
+		b.cacheStore(k, n.Mapping) // controller pushes mappings down in advance
+	} else if _, ok := b.cache[k]; ok {
+		b.cacheStore(k, n.Mapping) // keep cached entries fresh
+	}
+}
+
+// cacheStore writes a controller-confirmed mapping, stamping it fresh now.
+func (b *Backend) cacheStore(k controller.Key, m controller.Mapping) {
+	b.cache[k] = cacheEntry{m: m, fresh: b.Host.Eng.Now()}
 }
 
 // SetRecorder attaches a trace recorder to the backend and its conntrack.
@@ -169,21 +262,38 @@ func (b *Backend) WireInfo(qpn uint32) (vni uint32, vip packet.IP, ok bool) {
 }
 
 // resolveGID is RConnrename's mapping lookup: local cache first, then the
-// controller (with retry/backoff under control-plane faults).
-func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (controller.Mapping, error) {
+// controller (with retry/backoff under control-plane faults). The graced
+// result is true when the mapping was served under grace mode — the
+// controller is unreachable but the entry was confirmed within GraceTTL —
+// in which case the caller must register the connection for re-validation
+// once the controller returns.
+func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (controller.Mapping, bool, error) {
 	k := controller.Key{VNI: vni, VGID: vgid}
 	sp := b.Rec.Begin(p, trace.LayerRConnrename, "cache_lookup")
 	p.Sleep(b.P.CacheLookupCost)
-	m, ok := b.cache[k]
+	e, ok := b.cache[k]
 	sp.End(p)
 	if ok {
-		b.Stats.CacheHits++
-		b.Rec.Add("rconnrename.cache_hits", 1)
-		return m, nil
+		if !b.ctrlDown || b.P.GraceTTL <= 0 {
+			b.Stats.CacheHits++
+			b.Rec.Add("rconnrename.cache_hits", 1)
+			return e.m, false, nil
+		}
+		// The controller is unreachable: trust the cache only within the
+		// grace TTL. Anything older falls through to the (most likely
+		// failing) lookup — better to refuse a connection than to rename
+		// onto an address nobody has vouched for recently.
+		if p.Now().Sub(e.fresh) <= b.P.GraceTTL {
+			b.Stats.GraceRenames++
+			b.Rec.Add("rconnrename.grace", 1)
+			return e.m, true, nil
+		}
+		b.Stats.GraceExpired++
 	}
 	b.Stats.CacheMisses++
 	b.Rec.Add("rconnrename.cache_misses", 1)
-	return b.lookupWithRetry(p, k)
+	m, err := b.lookupWithRetry(p, k)
+	return m, false, err
 }
 
 // lookupWithRetry queries the controller directly (no cache read), backing
@@ -197,12 +307,14 @@ func (b *Backend) lookupWithRetry(p *simtime.Proc, k controller.Key) (controller
 	for i := 1; ; i++ {
 		m, ok, err := b.Ctrl.Lookup(p, k)
 		if err == nil {
+			b.ctrlOK(b.Ctrl.Epoch())
 			if !ok {
 				return controller.Mapping{}, fmt.Errorf("masq: no mapping for vGID %v in VNI %d", k.VGID, k.VNI)
 			}
-			b.cache[k] = m
+			b.cacheStore(k, m)
 			return m, nil
 		}
+		b.ctrlFail()
 		if i >= attempts {
 			b.Stats.QueryFailures++
 			return controller.Mapping{}, fmt.Errorf("masq: resolving vGID %v in VNI %d (%d attempts): %w", k.VGID, k.VNI, i, err)
@@ -231,6 +343,286 @@ func (b *Backend) invalidate(k controller.Key) {
 func (b *Backend) mappingLive(vni uint32, vip packet.IP, m controller.Mapping) bool {
 	ep := b.Fab.Lookup(vni, vip)
 	return ep != nil && ep.HostIP == m.PIP
+}
+
+// ─── Controller-crash survival: epochs, leases, reconciliation ───────────
+//
+// The controller keeps no persistent state; after a crash its table is
+// rebuilt from the edge. Each backend (1) holds its vBonds' registrations
+// as leases renewed by StartLeaseRenewal, (2) fences push notifications by
+// epoch and sequence number, and (3) funnels all recovery work — lease
+// re-assertion after an epoch bump, cache resync after lost pushes, grace
+// connection re-validation after an outage — through one reconcile
+// process, so recovery actions never interleave.
+
+// Epoch returns the highest controller epoch this backend has observed
+// (zero before first contact).
+func (b *Backend) Epoch() uint64 { return b.epoch }
+
+// CtrlDown reports the backend's current view of controller liveness: true
+// between a timed-out RPC and the next successful contact.
+func (b *Backend) CtrlDown() bool { return b.ctrlDown }
+
+// CacheSnapshot copies the mapping cache — masqctl inspection and test
+// assertions that cached state agrees with the controller's table.
+func (b *Backend) CacheSnapshot() map[controller.Key]controller.Mapping {
+	out := make(map[controller.Key]controller.Mapping, len(b.cache))
+	for k, e := range b.cache {
+		out[k] = e.m
+	}
+	return out
+}
+
+// observeEpoch folds a controller epoch stamped on an RPC reply or push
+// notification into the backend's view. The first contact just records the
+// epoch; any later bump is a restart: every mapping the controller knew is
+// gone, so the backend must re-assert its own registrations and (in
+// push-down mode) resynchronize its cache.
+func (b *Backend) observeEpoch(ep uint64) {
+	if ep <= b.epoch {
+		return
+	}
+	first := b.epoch == 0
+	b.epoch = ep
+	if first {
+		return
+	}
+	b.Stats.EpochBumps++
+	b.needReassert = true
+	if b.P.PushDown {
+		b.needResync = true
+	}
+	b.kickReconcile()
+}
+
+// ctrlOK records a successful controller contact: the outage (if any) is
+// over, the reply's epoch may reveal a restart, and pending recovery work
+// can proceed.
+func (b *Backend) ctrlOK(ep uint64) {
+	b.ctrlDown = false
+	b.observeEpoch(ep)
+	b.kickReconcile()
+}
+
+// ctrlFail records a timed-out controller RPC. While ctrlDown holds,
+// grace mode serves renames from fresh cache entries and the reconcile
+// process stays parked (retrying into a dead controller only burns time).
+func (b *Backend) ctrlFail() { b.ctrlDown = true }
+
+// pendingReconcile reports whether recovery work is actionable now.
+func (b *Backend) pendingReconcile() bool {
+	if b.ctrlDown {
+		return false
+	}
+	return b.needReassert || b.needResync || len(b.graceConns) > 0
+}
+
+// kickReconcile starts the reconciliation process unless it is already
+// running or there is nothing actionable. A single process serializes all
+// recovery so concurrent triggers — an epoch bump racing a notification
+// gap racing a returning outage — cannot interleave their table walks.
+func (b *Backend) kickReconcile() {
+	if b.reconciling || !b.pendingReconcile() {
+		return
+	}
+	b.reconciling = true
+	b.Host.Eng.Spawn("masq.reconcile", func(p *simtime.Proc) {
+		defer func() { b.reconciling = false }()
+		for b.pendingReconcile() {
+			switch {
+			case b.needReassert:
+				b.needReassert = false
+				b.reassert(p)
+			case b.needResync:
+				b.needResync = false
+				b.resync(p)
+			default:
+				b.revalidateGrace(p)
+			}
+		}
+		// If work remains it is because the controller went down again;
+		// the next successful contact re-kicks us.
+	})
+}
+
+// renewBond re-asserts one registration via the lease-renewal RPC.
+func (b *Backend) renewBond(p *simtime.Proc, k controller.Key, m controller.Mapping) bool {
+	ep, err := b.Ctrl.Renew(p, k, m)
+	if err != nil {
+		b.Stats.LeaseRenewFailures++
+		b.ctrlFail()
+		return false
+	}
+	b.Stats.LeaseRenewals++
+	b.ctrlOK(ep)
+	return true
+}
+
+// reassert re-registers every live vBond with the (restarted) controller —
+// the edge-driven half of reconvergence: the union of these renewals
+// across all hosts rebuilds the controller's table.
+func (b *Backend) reassert(p *simtime.Proc) {
+	for _, vb := range b.bonds {
+		k, m, ok := vb.Registration()
+		if !ok {
+			continue
+		}
+		if !b.renewBond(p, k, m) {
+			// Down again: keep the flag so the next contact retries the
+			// whole pass (renewals are idempotent).
+			b.needReassert = true
+			return
+		}
+	}
+}
+
+// resyncVNIs lists every VNI whose cache content this backend owes a
+// resync: push-down-seeded tenants plus anything currently cached.
+func (b *Backend) resyncVNIs() []uint32 {
+	set := make(map[uint32]bool)
+	for vni := range b.seeded {
+		set[vni] = true
+	}
+	for k := range b.cache {
+		set[k.VNI] = true
+	}
+	out := make([]uint32, 0, len(set))
+	for vni := range set {
+		out = append(out, vni)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// resync replays the controller's table over the cache, one charged
+// FetchDump per tenant: entries the controller no longer has are dropped,
+// the rest are folded in fresh. It runs after a notification gap (lost
+// pushes), after an epoch bump in push-down mode, and as the initial
+// push-down seeding.
+func (b *Backend) resync(p *simtime.Proc) {
+	for _, vni := range b.resyncVNIs() {
+		dump, ep, err := b.Ctrl.FetchDump(p, vni)
+		if err != nil {
+			b.needResync = true
+			b.ctrlFail()
+			return
+		}
+		// The snapshot supersedes every notification addressed before this
+		// instant: record the fence so late deliveries for this VNI cannot
+		// regress the cache (see onNotify), and close any seq gap opened
+		// by wiped or dropped pushes.
+		b.resyncBase[vni] = b.sub.Seq()
+		if b.sub.Seq() > b.notifSeen {
+			b.notifSeen = b.sub.Seq()
+		}
+		b.ctrlOK(ep)
+		for k := range b.cache {
+			if k.VNI != vni {
+				continue
+			}
+			if _, ok := dump[k]; !ok {
+				b.invalidate(k)
+			}
+		}
+		for k, m := range dump {
+			if b.P.PushDown {
+				b.cacheStore(k, m)
+			} else if _, ok := b.cache[k]; ok {
+				b.cacheStore(k, m)
+			}
+		}
+	}
+	b.Stats.Resyncs++
+}
+
+// recordGraceConn remembers a connection established on a grace-served
+// mapping, for re-validation once the controller returns.
+func (b *Backend) recordGraceConn(id ConnID, k controller.Key, m controller.Mapping) {
+	if _, ok := b.graceSeen[id]; ok {
+		return
+	}
+	b.graceSeen[id] = struct{}{}
+	b.graceConns = append(b.graceConns, graceConn{id: id, k: k, m: m})
+}
+
+// revalidateGrace re-checks every grace-established connection against the
+// returned controller: if the authoritative mapping still equals the one
+// the QPC was programmed with (and the endpoint is live there), the
+// connection survives; otherwise RConntrack resets it — the peer moved
+// while the controller was dark, so the programmed address is wrong.
+func (b *Backend) revalidateGrace(p *simtime.Proc) {
+	pending := b.graceConns
+	b.graceConns = nil
+	for i, g := range pending {
+		if !b.CT.Has(g.id) {
+			delete(b.graceSeen, g.id)
+			continue // already torn down through another path
+		}
+		m, ok, err := b.Ctrl.Lookup(p, g.k)
+		if err != nil {
+			b.ctrlFail()
+			// Down again mid-pass: requeue the unprocessed tail.
+			b.graceConns = append(pending[i:], b.graceConns...)
+			return
+		}
+		b.ctrlOK(b.Ctrl.Epoch())
+		delete(b.graceSeen, g.id)
+		if ok && m == g.m && b.mappingLive(g.id.VNI, g.id.DstVIP, m) {
+			b.Stats.GraceRevalidated++
+			b.cacheStore(g.k, m)
+			continue
+		}
+		b.Stats.GraceResets++
+		b.invalidate(g.k)
+		b.CT.ResetConn(p, g.id)
+	}
+}
+
+// StartLeaseRenewal runs the per-host lease-renewal process until the
+// given horizon: every LeaseRenewEvery, each live vBond re-asserts its
+// registration via Renew. Renewal doubles as the backend's failure
+// detector — a timed-out renewal marks the controller down (arming grace
+// mode), the first success after an outage reveals epoch bumps, and a
+// round whose reply seq is ahead of everything received with an empty
+// delivery queue means pushes were lost in flight, scheduling a resync.
+// The process is bounded by the horizon so Engine.Run still quiesces.
+func (b *Backend) StartLeaseRenewal(until simtime.Time) {
+	if b.leasing {
+		return
+	}
+	b.leasing = true
+	period := b.P.LeaseRenewEvery
+	if period <= 0 {
+		period = simtime.Ms(1)
+	}
+	b.Host.Eng.Spawn("masq.lease-renew", func(p *simtime.Proc) {
+		for {
+			if p.Now().Add(period) > until {
+				b.leasing = false
+				return
+			}
+			p.Sleep(period)
+			contacted := false
+			for _, vb := range b.bonds {
+				k, m, ok := vb.Registration()
+				if !ok {
+					continue
+				}
+				if !b.renewBond(p, k, m) {
+					break // down: stop hammering, try again next round
+				}
+				contacted = true
+			}
+			if contacted && b.sub.Seq() > b.notifSeen && b.sub.Pending() == 0 {
+				// Everything addressed to us should be delivered or still
+				// queued; an advanced seq over an empty queue means pushes
+				// were dropped in flight. Lease-driven repair: resync.
+				b.Stats.NotifyGaps++
+				b.needResync = true
+				b.kickReconcile()
+			}
+		}
+	})
 }
 
 // Command types crossing the virtio ring (frontend → backend).
@@ -335,17 +727,21 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 		return nil, fmt.Errorf("masq: unknown tenant VNI %d", vni)
 	}
 	b.CT.Watch(tenant)
-	if b.P.PushDown {
+	if b.P.PushDown && !b.seeded[vni] {
 		// Seed the cache with the tenant's pre-existing mappings: the
 		// subscription only covers registrations made after the backend
 		// was created, so a late-created backend would otherwise miss
-		// every earlier endpoint until its first query.
-		for k, m := range b.Ctrl.Dump(vni) {
-			b.cache[k] = m
-		}
+		// every earlier endpoint until its first query. Seeding is just
+		// the first resync: it pays the charged FetchDump RPC (round trip
+		// + per-entry serialization) and fails like any RPC if the
+		// controller is unreachable — a later reconciliation retries.
+		b.seeded[vni] = true
+		b.needResync = true
+		b.kickReconcile()
 	}
 
 	vbond := NewVBond(vni, vm.VNIC, b.Ctrl, b.physIdentity())
+	b.bonds = append(b.bonds, vbond)
 	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn,
 		events: simtime.NewQueue[rnic.AsyncEvent](b.Host.Eng)}
 	// Async events reach the guest like any other device interrupt: QP
@@ -517,7 +913,7 @@ func (b *Backend) modifyQP(p *simtime.Proc, c cmdModifyQP) error {
 // programs the QPC with physical addressing — the RConnrename core.
 func (b *Backend) renameRTR(p *simtime.Proc, c cmdModifyQP, a verbs.Attr, attr rnic.Attr, id ConnID, dstIP packet.IP) error {
 	k := controller.Key{VNI: c.sess.vni, VGID: a.DGID}
-	m, err := b.resolveGID(p, c.sess.vni, a.DGID)
+	m, graced, err := b.resolveGID(p, c.sess.vni, a.DGID)
 	if err != nil {
 		return err
 	}
@@ -549,6 +945,12 @@ func (b *Backend) renameRTR(p *simtime.Proc, c cmdModifyQP, a verbs.Attr, attr r
 		return err
 	}
 	b.CT.Insert(p, id, c.qp)
+	if graced {
+		// Established on the controller's old word: once it is reachable
+		// again, the reconcile process re-validates this connection and
+		// resets it if the mapping changed during the outage.
+		b.recordGraceConn(id, k, m)
+	}
 	return nil
 }
 
@@ -592,7 +994,7 @@ func (b *Backend) postUD(p *simtime.Proc, c cmdPostUD) error {
 	if err := b.CT.Validate(p, id); err != nil {
 		return err
 	}
-	m, err := b.resolveGID(p, c.sess.vni, c.dgid)
+	m, _, err := b.resolveGID(p, c.sess.vni, c.dgid)
 	if err != nil {
 		return err
 	}

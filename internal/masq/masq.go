@@ -65,6 +65,21 @@ type Params struct {
 	// establishment toward a stale mapping failed (the probe/retransmit
 	// timeout before the backend invalidates the entry and re-queries).
 	StaleDetectCost simtime.Duration
+
+	// GraceTTL lets RConnrename keep serving renames while the controller
+	// is unreachable: a cache entry last confirmed within the TTL is
+	// grace-served (counted in Stats.GraceRenames) instead of failing the
+	// verb, and the resulting connection is re-validated once the
+	// controller returns. Zero disables grace mode — an outage fails every
+	// cache miss and expired entry (the historical behaviour).
+	GraceTTL simtime.Duration
+
+	// LeaseRenewEvery is the period of the backend's lease-renewal process
+	// (Backend.StartLeaseRenewal): each round every live vBond re-asserts
+	// its registration, which doubles as the failure detector — renewals
+	// reveal controller outages, restarts (epoch bumps), and dropped push
+	// notifications.
+	LeaseRenewEvery simtime.Duration
 }
 
 // DefaultParams returns the paper's measured costs.
@@ -79,6 +94,7 @@ func DefaultParams() Params {
 		QueryRetries:    4,
 		RetryBackoff:    simtime.Us(200),
 		StaleDetectCost: simtime.Ms(1),
+		LeaseRenewEvery: simtime.Ms(1),
 	}
 }
 

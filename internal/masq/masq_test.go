@@ -97,12 +97,12 @@ func TestResolveGIDCachesAfterFirstQuery(t *testing.T) {
 	var first, second simtime.Duration
 	b.eng.Spawn("r", func(p *simtime.Proc) {
 		s := p.Now()
-		if _, err := b.be.resolveGID(p, 100, vgid); err != nil {
+		if _, _, err := b.be.resolveGID(p, 100, vgid); err != nil {
 			t.Error(err)
 		}
 		first = p.Now().Sub(s)
 		s = p.Now()
-		if _, err := b.be.resolveGID(p, 100, vgid); err != nil {
+		if _, _, err := b.be.resolveGID(p, 100, vgid); err != nil {
 			t.Error(err)
 		}
 		second = p.Now().Sub(s)
@@ -129,7 +129,7 @@ func TestPushDownAvoidsFirstMiss(t *testing.T) {
 	var dur simtime.Duration
 	b.eng.Spawn("r", func(p *simtime.Proc) {
 		s := p.Now()
-		if _, err := b.be.resolveGID(p, 100, vgid); err != nil {
+		if _, _, err := b.be.resolveGID(p, 100, vgid); err != nil {
 			t.Error(err)
 		}
 		dur = p.Now().Sub(s)
@@ -150,12 +150,12 @@ func TestCacheInvalidatedOnUnregister(t *testing.T) {
 	b.ctrl.Register(k, controller.Mapping{PIP: packet.NewIP(172, 16, 0, 2)})
 	var err2 error
 	b.eng.Spawn("r", func(p *simtime.Proc) {
-		if _, err := b.be.resolveGID(p, 100, vgid); err != nil {
+		if _, _, err := b.be.resolveGID(p, 100, vgid); err != nil {
 			t.Error(err)
 			return
 		}
 		b.ctrl.Unregister(k) // e.g. VM destroyed
-		_, err2 = b.be.resolveGID(p, 100, vgid)
+		_, _, err2 = b.be.resolveGID(p, 100, vgid)
 	})
 	b.eng.Run()
 	if err2 == nil {
@@ -173,7 +173,7 @@ func TestCacheRefreshedOnRemap(t *testing.T) {
 		b.be.resolveGID(p, 100, vgid) // populate cache
 		// Endpoint migrates to another host; controller pushes the update.
 		b.ctrl.Register(k, controller.Mapping{PIP: packet.NewIP(172, 16, 0, 9)})
-		m, _ = b.be.resolveGID(p, 100, vgid)
+		m, _, _ = b.be.resolveGID(p, 100, vgid)
 	})
 	b.eng.Run()
 	if m.PIP != packet.NewIP(172, 16, 0, 9) {
@@ -204,11 +204,12 @@ func TestPushDownSeedsPreexistingMappings(t *testing.T) {
 	if _, err := be2.NewFrontend(vm, 100); err != nil {
 		t.Fatal(err)
 	}
+	b.eng.Run() // push-down seeding is an async FetchDump now: let it land
 	queriesBefore := b.ctrl.Stats.Queries
 	var m controller.Mapping
 	var rerr error
 	b.eng.Spawn("r", func(p *simtime.Proc) {
-		m, rerr = be2.resolveGID(p, 100, vgid)
+		m, _, rerr = be2.resolveGID(p, 100, vgid)
 	})
 	b.eng.Run()
 	if rerr != nil {
@@ -296,7 +297,7 @@ func TestResolveGIDRetriesThroughOutage(t *testing.T) {
 	var m controller.Mapping
 	var err error
 	b.eng.Spawn("r", func(p *simtime.Proc) {
-		m, err = b.be.resolveGID(p, 100, vgid)
+		m, _, err = b.be.resolveGID(p, 100, vgid)
 	})
 	b.eng.Run()
 	if err != nil {
@@ -325,7 +326,7 @@ func TestResolveGIDFailsAfterRetryBudget(t *testing.T) {
 	})
 	var err error
 	b.eng.Spawn("r", func(p *simtime.Proc) {
-		_, err = b.be.resolveGID(p, 100, vgid)
+		_, _, err = b.be.resolveGID(p, 100, vgid)
 	})
 	b.eng.Run()
 	if !errors.Is(err, controller.ErrUnavailable) {

@@ -2,6 +2,7 @@ package masq
 
 import (
 	"fmt"
+	"sort"
 
 	"masq/internal/overlay"
 	"masq/internal/packet"
@@ -47,6 +48,11 @@ type RConntrack struct {
 	table  map[ConnID]*trackedConn
 	byQPN  map[uint32]map[ConnID]struct{} // QPN → table keys (O(1) delete_conn)
 	tenant map[uint32]*overlay.Tenant     // tenants this host has seen
+
+	// enforceQ serializes rule-change enforcement: every policy update is
+	// queued here and drained by one process, so a later change can never
+	// race an earlier scan.
+	enforceQ *simtime.Queue[*overlay.Tenant]
 }
 
 // NewRConntrack returns an empty tracker bound to the host's device.
@@ -139,11 +145,57 @@ func (ct *RConntrack) Conns() []ConnID {
 	return out
 }
 
-// rulesChanged runs on every policy update: charge the rule-maintenance
-// cost, then scan the RCT table and reset every connection the new chain
-// no longer allows. The scan runs in its own process because resetting a
-// QP is a (costly) hardware command.
+// Has reports whether id is currently tracked.
+func (ct *RConntrack) Has(id ConnID) bool {
+	_, ok := ct.table[id]
+	return ok
+}
+
+// ResetConn forcibly disconnects one tracked connection: its QP is moved
+// to ERROR and the entry removed. It reports whether an entry existed.
+// RConnrename uses it to kill grace-mode connections whose mapping turns
+// out to have changed once the controller returns.
+func (ct *RConntrack) ResetConn(p *simtime.Proc, id ConnID) bool {
+	c, ok := ct.table[id]
+	if !ok {
+		return false
+	}
+	if c.qp.State() != rnic.StateError {
+		sp := ct.rec.Begin(p, trace.LayerRConntrack, "reset_conn")
+		if err := ct.dev.ModifyQP(p, c.qp, rnic.Attr{ToState: rnic.StateError}); err == nil {
+			ct.Stats.Resets++
+		}
+		sp.End(p)
+	}
+	ct.remove(id)
+	return true
+}
+
+// rulesChanged runs on every policy update. Enforcement is serialized
+// through one per-tracker queue drained by a single process: concurrent
+// updates used to each spawn their own enforcement process, whose
+// snapshots and resets could interleave; now updates are applied strictly
+// in arrival order, and each scan sees the policy as it stands when the
+// chain update lands — a later rule change can never race an earlier scan.
 func (ct *RConntrack) rulesChanged(t *overlay.Tenant) {
+	if ct.enforceQ == nil {
+		ct.enforceQ = simtime.NewQueue[*overlay.Tenant](ct.dev.Engine())
+		ct.dev.Engine().Spawn("rconntrack.enforce", func(p *simtime.Proc) {
+			for {
+				ct.enforce(p, ct.enforceQ.Get(p))
+			}
+		})
+	}
+	ct.enforceQ.Put(t)
+}
+
+// enforce applies one queued rule-chain update: pay the maintenance cost,
+// then scan the RCT table against the policy's CURRENT state and reset
+// every connection it no longer allows. Scanning at enforcement time (not
+// at notification time) means a revoke that was re-allowed before its
+// update reached the chain resets nothing.
+func (ct *RConntrack) enforce(p *simtime.Proc, t *overlay.Tenant) {
+	p.Sleep(ct.p.InsertRuleCost) // insert_rule(): update the local chain
 	var victims []*trackedConn
 	for _, c := range ct.table {
 		if c.id.VNI != t.VNI {
@@ -153,28 +205,41 @@ func (ct *RConntrack) rulesChanged(t *overlay.Tenant) {
 			victims = append(victims, c)
 		}
 	}
-	ct.dev.Engine().Spawn("rconntrack.enforce", func(p *simtime.Proc) {
-		p.Sleep(ct.p.InsertRuleCost) // insert_rule(): update the local chain
-		for _, c := range victims {
-			// Re-check table membership: the QP may have been destroyed
-			// (and its entry deleted) between the snapshot and now, in
-			// which case the stale *rnic.QP must not be touched. Each
-			// reset also takes time, so re-check before every one.
-			if cur, ok := ct.table[c.id]; !ok || cur != c {
-				continue
-			}
-			if c.qp.State() == rnic.StateError {
-				ct.remove(c.id)
-				continue
-			}
-			// reset_conn(): the dominant cost is the RNIC's modify_qp(ERR)
-			// (Fig. 18); it flushes outstanding work and stops the flow.
-			sp := ct.rec.Begin(p, trace.LayerRConntrack, "reset_conn")
-			if err := ct.dev.ModifyQP(p, c.qp, rnic.Attr{ToState: rnic.StateError}); err == nil {
-				ct.Stats.Resets++
-			}
-			sp.End(p)
-			ct.remove(c.id)
+	// Map iteration order must not leak into the simulation: reset in a
+	// deterministic order.
+	sort.Slice(victims, func(a, b int) bool { return connLess(victims[a].id, victims[b].id) })
+	for _, c := range victims {
+		// Re-check table membership: the QP may have been destroyed (and
+		// its entry deleted) while earlier resets were paying their cost,
+		// in which case the stale *rnic.QP must not be touched.
+		if cur, ok := ct.table[c.id]; !ok || cur != c {
+			continue
 		}
-	})
+		if c.qp.State() == rnic.StateError {
+			ct.remove(c.id)
+			continue
+		}
+		// reset_conn(): the dominant cost is the RNIC's modify_qp(ERR)
+		// (Fig. 18); it flushes outstanding work and stops the flow.
+		sp := ct.rec.Begin(p, trace.LayerRConntrack, "reset_conn")
+		if err := ct.dev.ModifyQP(p, c.qp, rnic.Attr{ToState: rnic.StateError}); err == nil {
+			ct.Stats.Resets++
+		}
+		sp.End(p)
+		ct.remove(c.id)
+	}
+}
+
+// connLess is a total order over ConnIDs (deterministic victim scans).
+func connLess(a, b ConnID) bool {
+	if a.VNI != b.VNI {
+		return a.VNI < b.VNI
+	}
+	if a.QPN != b.QPN {
+		return a.QPN < b.QPN
+	}
+	if a.SrcVIP != b.SrcVIP {
+		return a.SrcVIP.String() < b.SrcVIP.String()
+	}
+	return a.DstVIP.String() < b.DstVIP.String()
 }

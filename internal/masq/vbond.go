@@ -50,6 +50,16 @@ func (b *VBond) VIP() packet.IP { return b.vnic.EP.VIP }
 // change it; vBond obtained it from the backend at initialization).
 func (b *VBond) MAC() packet.MAC { return b.vnic.EP.VMAC }
 
+// Registration returns the bond's current controller registration — what
+// the backend's lease-renewal process re-asserts every period. ok is false
+// when the bond is stopped or holds no IP: such bonds own no lease.
+func (b *VBond) Registration() (controller.Key, controller.Mapping, bool) {
+	if b.stopped || b.vgid.IsZero() {
+		return controller.Key{}, controller.Mapping{}, false
+	}
+	return controller.Key{VNI: b.vni, VGID: b.vgid}, b.phys, true
+}
+
 // Stop deactivates the bond: its notification-chain callback becomes a
 // no-op. Used when the VM migrates and a new bond (with the destination
 // host's physical identity) takes over; the mapping itself is NOT

@@ -233,8 +233,14 @@ var (
 	ChaosFlap = chaos.Flap
 	// ChaosCrash kills a testbed node (by creation index) at a time.
 	ChaosCrash = chaos.Crash
+	// ChaosCtrlOutage crashes the SDN controller (table and queued pushes
+	// lost) and restarts it empty at a new epoch.
+	ChaosCtrlOutage = chaos.CtrlOutage
 	// RandomChaosPlan derives a pure, seeded random fault schedule.
 	RandomChaosPlan = chaos.RandomPlan
+	// WithCtrlCrashes makes RandomChaosPlan append controller outages
+	// after the base schedule (existing seeds stay byte-identical).
+	WithCtrlCrashes = chaos.WithCtrlCrashes
 	// AsAsync unwraps a Device's async-event channel, if it has one.
 	AsAsync = verbs.AsAsync
 )
