@@ -93,3 +93,4 @@ func BenchmarkAblationVirtioBatch(b *testing.B)       { runExperiment(b, "abl-vi
 func BenchmarkAblationNICCache(b *testing.B)          { runExperiment(b, "abl-nic-cache") }
 func BenchmarkAblationMTUTax(b *testing.B)            { runExperiment(b, "abl-mtu") }
 func BenchmarkAblationTransport(b *testing.B)         { runExperiment(b, "abl-transport") }
+func BenchmarkAblationSetupRate(b *testing.B)         { runExperiment(b, "abl-setup-rate") }

@@ -98,6 +98,8 @@ func main() {
 		tb.Ctrl.Stats.LostUpdates, tb.Ctrl.Stats.NotifyWiped)
 	fmt.Printf("controller subscriber queue depth HWMs: %v (overall %d)\n",
 		tb.Ctrl.QueueHWMs(), tb.Ctrl.Stats.NotifyQueueHWM)
+	fmt.Printf("controller batches: %d batch RPCs resolving %d keys, %d piggybacked renewals\n",
+		tb.Ctrl.Stats.BatchQueries, tb.Ctrl.Stats.BatchedKeys, tb.Ctrl.Stats.BatchRenewals)
 
 	fmt.Println("\n=== per-host MasQ backends ===")
 	for i := range tb.Hosts {
@@ -116,6 +118,10 @@ func main() {
 			be.Stats.LeaseRenewals, be.Stats.LeaseRenewFailures,
 			be.Stats.GraceRenames, be.Stats.GraceExpired,
 			be.Stats.GraceRevalidated, be.Stats.GraceResets)
+		fmt.Printf("  setup fast path: batches %d rpcs/%d lookups (max %d); pool %d hits, %d misses, %d refills, %d flushes; shared %d carriers, %d attaches, %d flushes\n",
+			be.Stats.BatchRPCs, be.Stats.BatchedLookups, be.Stats.BatchMax,
+			be.Stats.PoolHits, be.Stats.PoolMisses, be.Stats.PoolRefills, be.Stats.PoolFlushes,
+			be.Stats.SharedCarriers, be.Stats.SharedAttaches, be.Stats.SharedFlushes)
 		conns := be.CT.Conns()
 		sort.Slice(conns, func(a, b int) bool { return conns[a].QPN < conns[b].QPN })
 		fmt.Printf("  RCT table (%d established connections):\n", len(conns))

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"masq/internal/cluster"
+)
+
+// TestSetupRateSpeedup pins the issue's acceptance bar: at 1000 concurrent
+// setups, batched lookups + warm QP pools deliver at least 5x the
+// connections/sec of unoptimized MasQ.
+func TestSetupRateSpeedup(t *testing.T) {
+	const n = 1000
+	base := runSetupStorm(cluster.ModeMasQ, n, nil)
+	fast := runSetupStorm(cluster.ModeMasQ, n, func(cfg *cluster.Config) {
+		cfg.Masq.BatchLookups = true
+		cfg.Masq.QPPoolSize = n
+	})
+	if base.rate <= 0 || fast.rate <= 0 {
+		t.Fatalf("rates = %.0f / %.0f", base.rate, fast.rate)
+	}
+	if ratio := fast.rate / base.rate; ratio < 5 {
+		t.Fatalf("batched+pooled = %.0f conns/sec vs %.0f unoptimized: %.2fx, want >= 5x",
+			fast.rate, base.rate, ratio)
+	}
+	if fast.poolHits == 0 || fast.batched == 0 {
+		t.Fatalf("fast path not exercised: poolHits=%d batched=%d", fast.poolHits, fast.batched)
+	}
+	// The fast path must also help the user-visible metric, not just the
+	// aggregate rate.
+	if fast.ttfb >= base.ttfb {
+		t.Fatalf("ttfb did not improve: %v (fast) vs %v (base)", fast.ttfb, base.ttfb)
+	}
+}
+
+// TestSetupRateDeterministic: the storm fixture is schedule-stable —
+// repeated runs of the same variant land on identical numbers.
+func TestSetupRateDeterministic(t *testing.T) {
+	tune := func(cfg *cluster.Config) {
+		cfg.Masq.BatchLookups = true
+		cfg.Masq.QPPoolSize = 100
+	}
+	a := runSetupStorm(cluster.ModeMasQ, 100, tune)
+	b := runSetupStorm(cluster.ModeMasQ, 100, tune)
+	if a != b {
+		t.Fatalf("storm not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}

@@ -38,9 +38,10 @@ const (
 	ModeMasQ   // VF placement (default MasQ)
 	ModeMasQPF // PF placement (Fig. 9)
 	ModeFreeFlow
+	ModeMasQShared // VF placement with shared host connections
 )
 
-var modeNames = [...]string{"host-rdma", "sr-iov", "masq", "masq-pf", "freeflow"}
+var modeNames = [...]string{"host-rdma", "sr-iov", "masq", "masq-pf", "freeflow", "masq-shared"}
 
 func (m Mode) String() string {
 	if m >= 0 && int(m) < len(modeNames) {
@@ -346,9 +347,12 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 		n.VF = vf
 		n.compute = vm.Compute
 		n.OOB = newOOB(tb, vni, vm.VNIC)
-	case ModeMasQ, ModeMasQPF:
+	case ModeMasQ, ModeMasQPF, ModeMasQShared:
 		if mode == ModeMasQPF {
 			tb.SetMasqMode(masq.ModePF)
+		}
+		if mode == ModeMasQShared {
+			tb.SetMasqMode(masq.ModeVFShared)
 		}
 		vm, err := h.NewVM(name, tb.Cfg.VMMem, vni, vip)
 		if err != nil {
@@ -401,7 +405,7 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 // which surfaces as a QP-fatal async event on their side (Sec. 3.3's
 // security argument depends on stale state never outliving the endpoint).
 func (tb *Testbed) CrashNode(n *Node) error {
-	if n.Mode != ModeMasQ && n.Mode != ModeMasQPF {
+	if n.Mode != ModeMasQ && n.Mode != ModeMasQPF && n.Mode != ModeMasQShared {
 		return fmt.Errorf("cluster: crash is implemented for MasQ nodes (got %v)", n.Mode)
 	}
 	if n.crashed {
@@ -454,7 +458,7 @@ func (n *Node) Read(va uint64, b []byte) error { return n.Mem.Read(va, b) }
 // resolve the new location through the controller (stale caches are
 // refreshed by the controller's push notifications).
 func (tb *Testbed) MigrateNode(n *Node, dstHost int) error {
-	if n.Mode != ModeMasQ && n.Mode != ModeMasQPF {
+	if n.Mode != ModeMasQ && n.Mode != ModeMasQPF && n.Mode != ModeMasQShared {
 		return fmt.Errorf("cluster: live migration is implemented for MasQ nodes (got %v)", n.Mode)
 	}
 	dst := tb.Hosts[dstHost]

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"masq/internal/simtime"
+	"masq/internal/verbs"
+)
+
+// TestSharedModeEndToEnd: under masq-shared, the first connection between
+// two hosts establishes one carrier per side, further QPs between the same
+// nodes soft-attach instead of paying firmware RTR/RTS, data on attached
+// flows is delivered intact, and the wire carries flow-tagged frames.
+func TestSharedModeEndToEnd(t *testing.T) {
+	cp, err := NewConnectedPair(DefaultConfig(), ModeMasQShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, b1 := cp.TB.Backend(0), cp.TB.Backend(1)
+	if b0.Stats.SharedCarriers != 1 || b1.Stats.SharedCarriers != 1 {
+		t.Fatalf("carriers = %d/%d, want 1 per side for the first connection",
+			b0.Stats.SharedCarriers, b1.Stats.SharedCarriers)
+	}
+	if b0.Stats.SharedAttaches != 0 || b1.Stats.SharedAttaches != 0 {
+		t.Fatalf("attaches = %d/%d before any extra QP",
+			b0.Stats.SharedAttaches, b1.Stats.SharedAttaches)
+	}
+
+	// A second QP between the same nodes multiplexes onto the existing
+	// host connection: no new carrier, one attach per side.
+	cep, sep, err := cp.ConnectExtraQP(DefaultEndpointOpts(), 7100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0.Stats.SharedCarriers != 1 || b1.Stats.SharedCarriers != 1 {
+		t.Fatalf("extra QP created a carrier: %d/%d",
+			b0.Stats.SharedCarriers, b1.Stats.SharedCarriers)
+	}
+	if b0.Stats.SharedAttaches != 1 || b1.Stats.SharedAttaches != 1 {
+		t.Fatalf("attaches = %d/%d after extra QP, want 1 per side",
+			b0.Stats.SharedAttaches, b1.Stats.SharedAttaches)
+	}
+
+	// Data still flows on the attached QP: RDMA-write a message and read
+	// it back out of the server VM's memory.
+	msg := []byte("multiplexed flow")
+	done := false
+	cp.TB.Eng.Spawn("shared-write", func(p *simtime.Proc) {
+		cep.Node.Write(cep.Buf, msg)
+		cep.QP.PostSend(p, verbs.SendWR{
+			WRID: 1, Op: verbs.WRWrite,
+			LocalAddr: cep.Buf, LKey: cep.MR.LKey(), Len: len(msg),
+			RemoteAddr: sep.Info().Addr, RKey: sep.Info().RKey,
+		})
+		wc := cep.SCQ.Wait(p)
+		if wc.Status != verbs.WCSuccess {
+			t.Errorf("write WC = %+v", wc)
+		}
+		done = true
+	})
+	cp.TB.Eng.Run()
+	if !done {
+		t.Fatal("write on attached QP never completed")
+	}
+	got := make([]byte, len(msg))
+	sep.Node.Read(sep.Info().Addr, got)
+	if string(got) != string(msg) {
+		t.Fatalf("server memory = %q, want %q", got, msg)
+	}
+
+	// The receiving RNIC saw flow-tagged frames on the shared port.
+	if rx := cp.TB.Hosts[1].Dev.Stats.TaggedRx; rx == 0 {
+		t.Fatal("no flow-tagged frames reached the server host")
+	}
+}
+
+// TestSharedModeCarrierGoneNextFlowRecarries: destroying the carrier QP
+// retires the host connection; the next flow to the same peer pays for a
+// fresh carrier instead of attaching to an orphan.
+func TestSharedModeCarrierGoneNextFlowRecarries(t *testing.T) {
+	cp, err := NewConnectedPair(DefaultConfig(), ModeMasQShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := cp.TB.Backend(0)
+	cp.TB.Eng.Spawn("teardown", func(p *simtime.Proc) {
+		if err := cp.Client.QP.Destroy(p); err != nil {
+			t.Errorf("destroy carrier: %v", err)
+		}
+	})
+	cp.TB.Eng.Run()
+	if _, _, err := cp.ConnectExtraQP(DefaultEndpointOpts(), 7200); err != nil {
+		t.Fatal(err)
+	}
+	if b0.Stats.SharedCarriers != 2 {
+		t.Fatalf("client-side carriers = %d, want 2 (fresh carrier after the first died)",
+			b0.Stats.SharedCarriers)
+	}
+	// The server side never lost its carrier, so its new QP attaches.
+	if b1 := cp.TB.Backend(1); b1.Stats.SharedCarriers != 1 || b1.Stats.SharedAttaches != 1 {
+		t.Fatalf("server side = %d carriers / %d attaches, want 1/1",
+			b1.Stats.SharedCarriers, b1.Stats.SharedAttaches)
+	}
+}

@@ -156,6 +156,11 @@ type Stats struct {
 	Renewals     uint64 // successful Renew RPCs
 	LeaseExpired uint64 // entries lazily purged after their lease lapsed
 	LostUpdates  uint64 // Register/Unregister attempts while down
+
+	// Batch-RPC accounting.
+	BatchQueries  uint64 // successful BatchLookup RPCs
+	BatchedKeys   uint64 // keys resolved through BatchLookup
+	BatchRenewals uint64 // renewals piggybacked on BatchLookup
 }
 
 // Notify is one push notification as a subscriber sees it: the table
@@ -384,14 +389,28 @@ func (c *Controller) inWindow(t simtime.Time) bool {
 	return false
 }
 
+// windowOverlaps reports whether any unavailability window intersects the
+// closed RPC interval [from, to]: the request is lost if the controller is
+// unreachable at any instant while it is in flight — including a window
+// strictly contained inside the interval, which the old send/reply point
+// checks missed.
+func (c *Controller) windowOverlaps(from, to simtime.Time) bool {
+	for _, w := range c.fault.Unavailable {
+		if w.Start <= to && from < w.End {
+			return true
+		}
+	}
+	return false
+}
+
 // rpc models one control RPC round trip under the fault plan. The
-// controller must be reachable at both the send instant AND the reply
-// instant — a window opening (or a crash landing) mid-RTT eats the reply,
-// and the caller waits out the full QueryTimeout exactly like any lost
-// answer. On success the caller has paid QueryRTT.
+// controller must be reachable for the whole [send, send+QueryRTT]
+// interval — a window opening (or a crash landing) anywhere mid-RTT eats
+// the reply, and the caller waits out the full QueryTimeout exactly like
+// any lost answer. On success the caller has paid QueryRTT.
 func (c *Controller) rpc(p *simtime.Proc) error {
 	send := p.Now()
-	if c.down || c.inWindow(send) || c.inWindow(send.Add(c.P.QueryRTT)) {
+	if c.down || c.windowOverlaps(send, send.Add(c.P.QueryRTT)) {
 		c.Stats.Timeouts++
 		p.Sleep(c.P.queryTimeout())
 		return ErrUnavailable
@@ -472,6 +491,73 @@ func (c *Controller) Renew(p *simtime.Proc, k Key, m Mapping) (uint64, error) {
 		c.notify(Notify{Key: k, Mapping: m})
 	}
 	return c.epoch, nil
+}
+
+// RenewReq is one piggybacked lease renewal inside a BatchLookup request:
+// the edge re-asserts (K → M) while it is querying anyway, saving the
+// separate Renew round trip.
+type RenewReq struct {
+	K Key
+	M Mapping
+}
+
+// BatchResult is one key's answer in a BatchLookup reply.
+type BatchResult struct {
+	M  Mapping
+	OK bool
+}
+
+// BatchLookup resolves many keys in ONE query round trip and applies the
+// piggybacked renewals in the same request — the connection-setup fast
+// path's amortization of the per-RPC QueryRTT. The wire shape is a single
+// request frame carrying all keys and renewal records; serialization is
+// charged at DumpEntryCost per record beyond the first (the first rides the
+// QueryRTT like a plain Lookup). The reply carries one BatchResult per key,
+// in request order, plus the controller epoch. Under a fault the whole
+// batch times out as one RPC: the caller waits one QueryTimeout, not one
+// per key.
+func (c *Controller) BatchLookup(p *simtime.Proc, keys []Key, renew []RenewReq) ([]BatchResult, uint64, error) {
+	sp := c.rec.Begin(p, trace.LayerController, "batch_lookup")
+	defer sp.End(p)
+	c.Stats.Queries++
+	if err := c.rpc(p); err != nil {
+		return nil, 0, err
+	}
+	if d := c.P.DumpEntryCost; d > 0 {
+		if extra := len(keys) + len(renew) - 1; extra > 0 {
+			p.Sleep(simtime.Duration(extra) * d)
+		}
+	}
+	now := p.Now()
+	for _, r := range renew {
+		old, had := c.table[r.K]
+		if had && !old.live(now) {
+			c.Stats.LeaseExpired++
+			had = false
+		}
+		c.Stats.Renewals++
+		c.Stats.BatchRenewals++
+		c.table[r.K] = entry{m: r.M, epoch: c.epoch, expires: c.leaseExpiry(now)}
+		if !had || old.m != r.M {
+			c.notify(Notify{Key: r.K, Mapping: r.M})
+		}
+	}
+	out := make([]BatchResult, len(keys))
+	for i, k := range keys {
+		e, ok := c.table[k]
+		if ok && !e.live(now) {
+			delete(c.table, k)
+			c.Stats.LeaseExpired++
+			ok = false
+		}
+		if ok {
+			c.Stats.Hits++
+			out[i] = BatchResult{M: e.m, OK: true}
+		}
+	}
+	c.Stats.BatchQueries++
+	c.Stats.BatchedKeys += uint64(len(keys))
+	return out, c.epoch, nil
 }
 
 // FetchDump is the charged, fault-aware whole-tenant dump RPC backends use

@@ -263,3 +263,149 @@ func TestDumpFiltersByVNI(t *testing.T) {
 		t.Fatalf("dump(100) = %d entries, want 5", len(d))
 	}
 }
+
+// TestLookupTimesOutOnMidRTTWindow is the fault-window regression test:
+// the old implementation sampled the plan only at the send and reply
+// instants, so a window strictly inside (send, send+QueryRTT) was invisible
+// and the lookup "succeeded" through a dead controller. The RPC must be
+// lost if any part of its flight overlaps a window, while the boundary
+// semantics stay as before: a window that ends exactly at the send instant
+// does not hurt, one that opens exactly at the reply instant eats the reply.
+func TestLookupTimesOutOnMidRTTWindow(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams()) // QueryRTT 100µs, QueryTimeout 1ms
+	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, 1))}
+	c.Register(k, mapping(packet.NewIP(172, 16, 0, 1)))
+	c.SetFaultPlan(FaultPlan{Unavailable: []Window{
+		{Start: simtime.Time(simtime.Us(30)), End: simtime.Time(simtime.Us(60))},     // strictly mid-RTT of lookup 0
+		{Start: simtime.Time(simtime.Us(1000)), End: simtime.Time(simtime.Us(1100))}, // ends exactly at lookup 1's send
+		{Start: simtime.Time(simtime.Us(1400)), End: simtime.Time(simtime.Us(1500))}, // opens exactly at lookup 2's reply
+	}})
+	var errs []error
+	var waits []simtime.Duration
+	eng.Spawn("q", func(p *simtime.Proc) {
+		lookup := func() {
+			s := p.Now()
+			_, _, err := c.Lookup(p, k)
+			errs = append(errs, err)
+			waits = append(waits, p.Now().Sub(s))
+		}
+		lookup() // send 0, flight [0, 100]: window 0 sits strictly inside → lost, 1ms timeout
+		p.Sleep(simtime.Us(100))
+		lookup() // send 1100, flight [1100, 1200]: window 1 ended at the send instant → ok
+		p.Sleep(simtime.Us(100))
+		lookup() // send 1300, flight [1300, 1400]: window 2 opens at the reply instant → lost
+		p.Sleep(simtime.Us(200))
+		lookup() // send 2500: clear air → ok
+	})
+	eng.Run()
+	want := []bool{false, true, false, true} // ok?
+	for i, w := range want {
+		if (errs[i] == nil) != w {
+			t.Fatalf("lookup %d err = %v, want ok=%v", i, errs[i], w)
+		}
+	}
+	if waits[0] != simtime.Ms(1) || waits[1] != simtime.Us(100) ||
+		waits[2] != simtime.Ms(1) || waits[3] != simtime.Us(100) {
+		t.Fatalf("waits = %v", waits)
+	}
+	if c.Stats.Timeouts != 2 {
+		t.Fatalf("timeouts = %d, want 2", c.Stats.Timeouts)
+	}
+}
+
+// TestBatchLookupResolvesManyKeysInOneRTT: a batch of N keys pays one
+// QueryRTT plus per-record serialization, not N round trips, and returns
+// the results in request order.
+func TestBatchLookupResolvesManyKeysInOneRTT(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	keys := make([]Key, 4)
+	for i := range keys {
+		keys[i] = Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, byte(i+1)))}
+		c.Register(keys[i], mapping(packet.NewIP(172, 16, 0, byte(i+1))))
+	}
+	miss := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, 99))}
+	var res []BatchResult
+	var elapsed simtime.Duration
+	eng.Spawn("b", func(p *simtime.Proc) {
+		s := p.Now()
+		var err error
+		res, _, err = c.BatchLookup(p, append(keys, miss), nil)
+		if err != nil {
+			t.Error(err)
+		}
+		elapsed = p.Now().Sub(s)
+	})
+	eng.Run()
+	// 5 keys: QueryRTT + 4 extra records × DumpEntryCost (1µs).
+	if want := simtime.Us(104); elapsed != want {
+		t.Fatalf("batch of 5 took %v, want %v", elapsed, want)
+	}
+	for i := range keys {
+		if !res[i].OK || res[i].M.PIP != packet.NewIP(172, 16, 0, byte(i+1)) {
+			t.Fatalf("result %d = %+v", i, res[i])
+		}
+	}
+	if res[4].OK {
+		t.Fatal("unregistered key resolved")
+	}
+	if c.Stats.BatchQueries != 1 || c.Stats.BatchedKeys != 5 || c.Stats.Queries != 1 || c.Stats.Hits != 4 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+// TestBatchLookupPiggybacksRenewals: renewals carried in the batch request
+// are applied before the keys are resolved — a lease that would have
+// expired mid-flight is refreshed by its own batch.
+func TestBatchLookupPiggybacksRenewals(t *testing.T) {
+	eng := simtime.NewEngine()
+	p := DefaultParams()
+	p.LeaseTTL = simtime.Ms(1)
+	c := New(eng, p)
+	k := Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, 1))}
+	m := mapping(packet.NewIP(172, 16, 0, 1))
+	c.Register(k, m)
+	var res []BatchResult
+	eng.Spawn("b", func(pr *simtime.Proc) {
+		pr.Sleep(simtime.Ms(5)) // the lease is long dead
+		var err error
+		res, _, err = c.BatchLookup(pr, []Key{k}, []RenewReq{{K: k, M: m}})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if !res[0].OK || res[0].M != m {
+		t.Fatalf("renewed key did not resolve: %+v", res[0])
+	}
+	if c.Stats.BatchRenewals != 1 || c.Stats.Renewals != 1 {
+		t.Fatalf("renewal stats = %+v", c.Stats)
+	}
+}
+
+// TestBatchLookupTimesOutAsOneRPC: under a fault the whole batch costs one
+// QueryTimeout, not one per key.
+func TestBatchLookupTimesOutAsOneRPC(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := New(eng, DefaultParams())
+	c.SetFaultPlan(FaultPlan{Unavailable: []Window{{Start: 0, End: simtime.Time(simtime.Ms(2))}}})
+	keys := make([]Key, 8)
+	for i := range keys {
+		keys[i] = Key{VNI: 1, VGID: packet.GIDFromIP(packet.NewIP(10, 0, 0, byte(i+1)))}
+	}
+	var err error
+	var elapsed simtime.Duration
+	eng.Spawn("b", func(p *simtime.Proc) {
+		s := p.Now()
+		_, _, err = c.BatchLookup(p, keys, nil)
+		elapsed = p.Now().Sub(s)
+	})
+	eng.Run()
+	if err != ErrUnavailable {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if elapsed != simtime.Ms(1) {
+		t.Fatalf("batch timeout took %v, want one 1ms QueryTimeout", elapsed)
+	}
+}

@@ -102,7 +102,7 @@ func (h *Host) demux(f simnet.Frame) {
 			dispatched := false
 			if u := pkt.UDP(); u != nil {
 				switch u.DstPort {
-				case packet.PortRoCEv2:
+				case packet.PortRoCEv2, packet.PortRoCEShared:
 					h.Dev.Ingress.Put(pkt)
 					dispatched = true
 				case packet.PortVXLAN:

@@ -57,6 +57,17 @@ type Backend struct {
 	graceConns   []graceConn          // grace-established connections awaiting re-validation
 	graceSeen    map[ConnID]struct{}  // dedup for graceConns
 
+	// Setup fast-path state (see batch.go / pool.go / shared.go).
+	inflight map[controller.Key]*simtime.Event[lookupOutcome] // single-flight per key
+	batchQ   []controller.Key                                 // keys awaiting the next batch RPC
+	batching bool                                             // batch-leader process running
+
+	pools      map[uint32]*qpPool // warm QP/CQ pools, one per tenant VNI
+	pooledInit map[uint32]bool    // pooled QPs handed out already in INIT
+
+	shared      map[sharedKey]*sharedConn // shared host connections by (VNI, peer host)
+	sharedFlows map[uint32]sharedFlow     // QPN → its shared-connection membership
+
 	Stats struct {
 		CacheHits, CacheMisses uint64
 		Renames                uint64
@@ -83,6 +94,18 @@ type Backend struct {
 		LeaseRenewals      uint64 // successful per-bond Renew RPCs
 		LeaseRenewFailures uint64 // Renew RPCs that timed out
 		EpochBumps         uint64 // controller restarts observed (epoch changes)
+
+		// Setup fast-path accounting.
+		BatchRPCs      uint64 // coalesced BatchLookup RPCs issued
+		BatchedLookups uint64 // cache misses resolved through a batch
+		BatchMax       uint64 // largest key count coalesced into one batch
+		PoolHits       uint64 // CQ/QP creations served from the warm pool
+		PoolMisses     uint64 // pool enabled but empty (or unsuitable) at take
+		PoolRefills    uint64 // pooled resources created by the refill process
+		PoolFlushes    uint64 // pooled resources destroyed (crash, epoch bump)
+		SharedCarriers uint64 // host connections established (first flow to a peer)
+		SharedAttaches uint64 // flows attached to an existing host connection
+		SharedFlushes  uint64 // shared-connection table clears (epoch bump)
 	}
 }
 
@@ -120,6 +143,12 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 		seeded:     make(map[uint32]bool),
 		resyncBase: make(map[uint32]uint64),
 		graceSeen:  make(map[ConnID]struct{}),
+
+		inflight:    make(map[controller.Key]*simtime.Event[lookupOutcome]),
+		pools:       make(map[uint32]*qpPool),
+		pooledInit:  make(map[uint32]bool),
+		shared:      make(map[sharedKey]*sharedConn),
+		sharedFlows: make(map[uint32]sharedFlow),
 	}
 	// The failure-reaction chain, backend half: when the RNIC moves an
 	// owned QP to ERROR on its own (retry exhaustion — typically a dead or
@@ -292,8 +321,44 @@ func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (cont
 	}
 	b.Stats.CacheMisses++
 	b.Rec.Add("rconnrename.cache_misses", 1)
+	if b.P.BatchLookups {
+		m, err := b.batchResolve(p, k)
+		return m, false, err
+	}
 	m, err := b.lookupWithRetry(p, k)
 	return m, false, err
+}
+
+// retryPlan computes the first backoff and the doubling cap for controller
+// lookup retries. A zero configured backoff is floored at one controller
+// query timeout — re-querying a dead controller immediately only repeats
+// the same timeout — and doubling is clamped at RetryBackoffMax so a large
+// QueryRetries cannot overflow simtime.Duration.
+func (b *Backend) retryPlan() (backoff, limit simtime.Duration) {
+	timeout := b.Ctrl.P.QueryTimeout
+	if timeout <= 0 {
+		timeout = 10 * b.Ctrl.P.QueryRTT
+	}
+	backoff = b.P.RetryBackoff
+	if backoff <= 0 {
+		backoff = timeout
+	}
+	limit = b.P.RetryBackoffMax
+	if limit <= 0 {
+		limit = 10 * timeout
+	}
+	if backoff > limit {
+		backoff = limit
+	}
+	return backoff, limit
+}
+
+// nextBackoff doubles a retry backoff under the clamp, without overflow.
+func nextBackoff(backoff, limit simtime.Duration) simtime.Duration {
+	if backoff <= limit/2 {
+		return backoff * 2
+	}
+	return limit
 }
 
 // lookupWithRetry queries the controller directly (no cache read), backing
@@ -303,7 +368,7 @@ func (b *Backend) lookupWithRetry(p *simtime.Proc, k controller.Key) (controller
 	if attempts < 1 {
 		attempts = 1
 	}
-	backoff := b.P.RetryBackoff
+	backoff, limit := b.retryPlan()
 	for i := 1; ; i++ {
 		m, ok, err := b.Ctrl.Lookup(p, k)
 		if err == nil {
@@ -322,7 +387,7 @@ func (b *Backend) lookupWithRetry(p *simtime.Proc, k controller.Key) (controller
 		b.Stats.QueryRetries++
 		b.Rec.Add("controller.query_retries", 1)
 		p.Sleep(backoff)
-		backoff *= 2
+		backoff = nextBackoff(backoff, limit)
 	}
 }
 
@@ -392,6 +457,11 @@ func (b *Backend) observeEpoch(ep uint64) {
 	if b.P.PushDown {
 		b.needResync = true
 	}
+	// A restarted controller may re-key the world: warm QPs were pre-staged
+	// against the old epoch's view, and shared connections multiplex flows
+	// the new controller has never vouched for. Drop both.
+	b.flushSharedConns()
+	b.spawnPoolFlush()
 	b.kickReconcile()
 }
 
@@ -722,6 +792,9 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 	if err != nil {
 		return nil, err
 	}
+	if b.P.QPPoolSize > 0 {
+		b.ensurePool(vni, fn)
+	}
 	tenant := b.Fab.Tenant(vni)
 	if tenant == nil {
 		return nil, fmt.Errorf("masq: unknown tenant VNI %d", vni)
@@ -851,6 +924,15 @@ func (b *Backend) handle(p *simtime.Proc, cmd any) any {
 		}
 		return resp{}
 	case cmdCreateCQ:
+		if pool := b.pools[c.sess.vni]; pool != nil {
+			if cq := pool.takeCQ(c.cqe); cq != nil {
+				p.Sleep(b.P.PoolReuseCost)
+				b.Stats.PoolHits++
+				pool.noteTake(p.Now())
+				return resp{v: cq}
+			}
+			b.Stats.PoolMisses++
+		}
 		return resp{v: dev.CreateCQ(p, c.sess.fn, c.cqe)}
 	case cmdDestroyCQ:
 		dev.DestroyCQ(p, nil, c.cq)
@@ -861,6 +943,23 @@ func (b *Backend) handle(p *simtime.Proc, cmd any) any {
 		dev.DestroySRQ(p, nil, c.srq)
 		return resp{}
 	case cmdCreateQP:
+		if pool := b.pools[c.sess.vni]; pool != nil && c.typ == rnic.RC {
+			if qp := pool.takeQP(); qp != nil {
+				p.Sleep(b.P.PoolReuseCost)
+				if err := qp.Rebind(c.pd, c.scq, c.rcq, c.caps); err != nil {
+					return resp{err: err}
+				}
+				b.Stats.PoolHits++
+				// The pooled QP is already in INIT with its source
+				// addressing latched; modifyQP skips the guest's INIT verb.
+				b.pooledInit[qp.Num] = true
+				b.qpOwner[qp.Num] = c.sess
+				c.sess.qps = append(c.sess.qps, qp)
+				pool.noteTake(p.Now())
+				return resp{v: qp}
+			}
+			b.Stats.PoolMisses++
+		}
 		qp := dev.CreateQP(p, c.sess.fn, c.pd, c.scq, c.rcq, c.typ, c.caps)
 		b.qpOwner[qp.Num] = c.sess
 		c.sess.qps = append(c.sess.qps, qp)
@@ -868,6 +967,8 @@ func (b *Backend) handle(p *simtime.Proc, cmd any) any {
 	case cmdDestroyQP:
 		b.CT.Delete(p, c.qp.Num)
 		delete(b.qpOwner, c.qp.Num)
+		delete(b.pooledInit, c.qp.Num)
+		b.sharedDetach(c.qp.Num)
 		for i, qp := range c.sess.qps {
 			if qp == c.qp {
 				c.sess.qps = append(c.sess.qps[:i], c.sess.qps[i+1:]...)
@@ -906,6 +1007,20 @@ func (b *Backend) modifyQP(p *simtime.Proc, c cmdModifyQP) error {
 		sp.End(p)
 		return err
 	}
+	if a.ToState == rnic.StateInit && b.pooledInit[c.qp.Num] {
+		// Pooled QP: the refiller pre-applied INIT on the same function, so
+		// the guest's verb is satisfied by bookkeeping instead of firmware.
+		delete(b.pooledInit, c.qp.Num)
+		p.Sleep(b.P.PoolReuseCost)
+		return nil
+	}
+	if a.ToState == rnic.StateRTS {
+		if fl, ok := b.sharedFlows[c.qp.Num]; ok && fl.attached {
+			// Attached flow of a shared connection: the carrier already paid
+			// the firmware RTS; this flow's QPC flips in host memory.
+			return b.Host.Dev.SoftModify(p, c.qp, attr, b.P.SharedAttachCost)
+		}
+	}
 	return b.Host.Dev.ModifyQP(p, c.qp, attr)
 }
 
@@ -941,7 +1056,11 @@ func (b *Backend) renameRTR(p *simtime.Proc, c cmdModifyQP, a verbs.Attr, attr r
 	b.Stats.Renames++
 	b.Rec.Add("rconnrename.renames", 1)
 	attr.AV = rnic.AddressVector{DGID: m.PGID, DIP: m.PIP, DMAC: m.PMAC, DQPN: a.DQPN}
-	if err := b.Host.Dev.ModifyQP(p, c.qp, attr); err != nil {
+	if b.Mode == ModeVFShared {
+		if err := b.sharedRTR(p, c.qp, c.sess.vni, m, attr); err != nil {
+			return err
+		}
+	} else if err := b.Host.Dev.ModifyQP(p, c.qp, attr); err != nil {
 		return err
 	}
 	b.CT.Insert(p, id, c.qp)
@@ -972,6 +1091,8 @@ func (b *Backend) Crash(p *simtime.Proc, f *Frontend) {
 	for _, qp := range sess.qps {
 		b.CT.Delete(p, qp.Num)
 		delete(b.qpOwner, qp.Num)
+		delete(b.pooledInit, qp.Num)
+		b.sharedDetach(qp.Num)
 		dev.DestroyQP(p, qp)
 	}
 	sess.qps = nil
@@ -983,6 +1104,11 @@ func (b *Backend) Crash(p *simtime.Proc, f *Frontend) {
 		}
 	}
 	sess.mrs = nil
+	// Warm QPs pre-created for the dead VM's tenant must not survive it:
+	// flush the VNI's pool (the refiller rebuilds for surviving frontends).
+	if pool := b.pools[sess.vni]; pool != nil {
+		b.flushPool(p, pool)
+	}
 	sess.vbond.Shutdown()
 }
 

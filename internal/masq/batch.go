@@ -1,0 +1,127 @@
+package masq
+
+import (
+	"fmt"
+
+	"masq/internal/controller"
+	"masq/internal/simtime"
+)
+
+// Batched controller queries (setup fast path, part a): during a connection
+// storm, every concurrent rename miss pays its own Lookup RPC — N misses,
+// N QueryRTTs, serialized through the same controller. With BatchLookups
+// enabled the first miss becomes a batch leader; misses arriving within the
+// batch window join its queue (and misses for a key already in flight just
+// wait on that key's event — single-flight), so the whole storm resolves in
+// one BatchLookup RPC. The batch RPC also piggybacks the host's lease
+// renewals, folding the renewal keep-alive into traffic the host is sending
+// anyway.
+
+// lookupOutcome is the result a batch leader hands to every coalesced
+// waiter of one key.
+type lookupOutcome struct {
+	m   controller.Mapping
+	err error
+}
+
+// batchResolve is resolveGID's miss path under BatchLookups: join the key's
+// in-flight resolution if one exists, otherwise enqueue the key and make
+// sure a batch leader is running, then wait for the coalesced answer.
+func (b *Backend) batchResolve(p *simtime.Proc, k controller.Key) (controller.Mapping, error) {
+	if ev, ok := b.inflight[k]; ok {
+		out := ev.Wait(p)
+		return out.m, out.err
+	}
+	ev := simtime.NewEvent[lookupOutcome](b.Host.Eng)
+	b.inflight[k] = ev
+	b.batchQ = append(b.batchQ, k)
+	if !b.batching {
+		b.batching = true
+		b.Host.Eng.Spawn("masq.batch-lookup", b.batchLeader)
+	}
+	out := ev.Wait(p)
+	return out.m, out.err
+}
+
+// batchLeader drains the pending-miss queue: sleep one batch window to let
+// stragglers pile in, resolve everything queued with one RPC, and repeat
+// until no new misses arrived while the RPC was in flight.
+func (b *Backend) batchLeader(p *simtime.Proc) {
+	window := b.P.BatchWindow
+	if window < simtime.Us(20) {
+		window = simtime.Us(20)
+	}
+	for {
+		p.Sleep(window)
+		keys := b.batchQ
+		b.batchQ = nil
+		if len(keys) == 0 {
+			b.batching = false
+			return
+		}
+		b.runBatch(p, keys)
+		if len(b.batchQ) == 0 {
+			b.batching = false
+			return
+		}
+	}
+}
+
+// runBatch resolves one batch of keys (plus piggybacked lease renewals) and
+// triggers every waiter with its key's outcome.
+func (b *Backend) runBatch(p *simtime.Proc, keys []controller.Key) {
+	var renew []controller.RenewReq
+	for _, vb := range b.bonds {
+		if k, m, ok := vb.Registration(); ok {
+			renew = append(renew, controller.RenewReq{K: k, M: m})
+		}
+	}
+	results, err := b.batchLookupWithRetry(p, keys, renew)
+	b.Stats.BatchRPCs++
+	b.Stats.BatchedLookups += uint64(len(keys))
+	if n := uint64(len(keys)); n > b.Stats.BatchMax {
+		b.Stats.BatchMax = n
+	}
+	for i, k := range keys {
+		ev := b.inflight[k]
+		delete(b.inflight, k)
+		var out lookupOutcome
+		switch {
+		case err != nil:
+			out.err = fmt.Errorf("masq: batched resolve of vGID %v in VNI %d: %w", k.VGID, k.VNI, err)
+		case !results[i].OK:
+			out.err = fmt.Errorf("masq: no mapping for vGID %v in VNI %d", k.VGID, k.VNI)
+		default:
+			out.m = results[i].M
+			b.cacheStore(k, out.m)
+		}
+		ev.Trigger(out)
+	}
+}
+
+// batchLookupWithRetry is lookupWithRetry's shape applied to the batch RPC:
+// same attempt budget, same clamped exponential backoff.
+func (b *Backend) batchLookupWithRetry(p *simtime.Proc, keys []controller.Key, renew []controller.RenewReq) ([]controller.BatchResult, error) {
+	attempts := b.P.QueryRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff, limit := b.retryPlan()
+	for i := 1; ; i++ {
+		results, ep, err := b.Ctrl.BatchLookup(p, keys, renew)
+		if err == nil {
+			b.ctrlOK(ep)
+			b.Stats.LeaseRenewals += uint64(len(renew))
+			return results, nil
+		}
+		b.ctrlFail()
+		if i >= attempts {
+			b.Stats.QueryFailures++
+			return nil, fmt.Errorf("masq: batch lookup of %d keys (%d attempts): %w", len(keys), i, err)
+		}
+		b.Stats.QueryRetries++
+		b.Rec.Add("controller.query_retries", 1)
+		p.Sleep(backoff)
+		backoff = nextBackoff(backoff, limit)
+	}
+}

@@ -58,8 +58,50 @@ type Params struct {
 	QueryRetries int
 
 	// RetryBackoff is the wait before the second lookup attempt; it
-	// doubles on every further attempt (exponential backoff).
+	// doubles on every further attempt (exponential backoff). Zero is
+	// floored at one controller query timeout — an immediate re-query
+	// into a dead controller would only repeat the same timeout.
 	RetryBackoff simtime.Duration
+
+	// RetryBackoffMax caps the exponential backoff: doubling stops here,
+	// so arbitrarily large QueryRetries cannot overflow the duration.
+	// Zero means ten query timeouts.
+	RetryBackoffMax simtime.Duration
+
+	// BatchLookups enables the connection-setup fast path's batched
+	// controller queries: concurrent cache misses coalesce into one
+	// BatchLookup RPC resolving every pending key in a single QueryRTT
+	// (and piggybacking the host's lease renewals). Off by default —
+	// each miss pays its own Lookup RPC, the historical behaviour.
+	BatchLookups bool
+
+	// BatchWindow is how long the batch leader waits for stragglers
+	// before issuing the coalesced RPC. Floored at 20 µs when batching
+	// is enabled.
+	BatchWindow simtime.Duration
+
+	// QPPoolSize, when positive, arms the warm QP pool: the backend
+	// pre-creates up to this many RC QPs (already in INIT) and CQs per
+	// tenant VNI, so a new connection is a pooled-handle rename plus an
+	// RTR rewrite instead of the full create/modify firmware chain.
+	// Zero disables pooling.
+	QPPoolSize int
+
+	// PoolReuseCost is the host-software cost of handing out one pooled
+	// resource (table lookup + handle rebind) in place of the firmware
+	// verb it replaces.
+	PoolReuseCost simtime.Duration
+
+	// PoolRefillIdle is how long the pool refiller waits after the last
+	// pooled take before creating replacements, keeping the RNIC
+	// firmware free for foreground verbs during a setup storm.
+	PoolRefillIdle simtime.Duration
+
+	// SharedAttachCost is the host-software cost of attaching one guest
+	// flow to an already-established shared host connection
+	// (ModeVFShared): allocate a flow tag, rewrite the QP context in
+	// host memory — no firmware verb.
+	SharedAttachCost simtime.Duration
 
 	// StaleDetectCost is the time to discover that connection
 	// establishment toward a stale mapping failed (the probe/retransmit
@@ -93,8 +135,14 @@ func DefaultParams() Params {
 		PushDown:        false,
 		QueryRetries:    4,
 		RetryBackoff:    simtime.Us(200),
+		RetryBackoffMax: simtime.Ms(10),
 		StaleDetectCost: simtime.Ms(1),
 		LeaseRenewEvery: simtime.Ms(1),
+
+		BatchWindow:      simtime.Us(20),
+		PoolReuseCost:    simtime.Us(2),
+		PoolRefillIdle:   simtime.Ms(1),
+		SharedAttachCost: simtime.Us(5),
 	}
 }
 
@@ -109,11 +157,20 @@ const (
 	// ModePF places queues on the physical function: best-effort service
 	// with the lowest latency (Fig. 9).
 	ModePF
+	// ModeVFShared is ModeVF with shared host connections (the
+	// RDMAvisor/DCT idea): guest RC flows toward the same (VNI, peer
+	// host) multiplex one host RC connection, demuxed by a flow tag in
+	// the overlay header, so only the first flow to a peer pays the
+	// firmware connect.
+	ModeVFShared
 )
 
 func (m Mode) String() string {
-	if m == ModePF {
+	switch m {
+	case ModePF:
 		return "masq-pf"
+	case ModeVFShared:
+		return "masq-vf-shared"
 	}
 	return "masq-vf"
 }

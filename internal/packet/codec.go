@@ -363,6 +363,16 @@ func decodeInto(a *decodeArena, data []byte) (*Packet, error) {
 	switch a.udp.DstPort {
 	case PortRoCEv2:
 		return p, decodeRoCE(a, rest)
+	case PortRoCEShared:
+		// Flow-tagged RoCE (shared-connection mode): a VXLAN header
+		// carrying the flow tag sits between UDP and the BTH.
+		n, err = a.vx.unmarshal(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Layers = append(p.Layers, &a.vx)
+		p.vxHdr = &a.vx
+		return p, decodeRoCE(a, rest[n:])
 	case PortVXLAN:
 		n, err = a.vx.unmarshal(rest)
 		if err != nil {

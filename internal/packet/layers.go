@@ -75,6 +75,11 @@ const (
 const (
 	PortRoCEv2 uint16 = 4791
 	PortVXLAN  uint16 = 4789
+	// PortRoCEShared carries flow-tagged RoCEv2 traffic (MasQ's
+	// shared-connection mode): a VXLAN header bearing the flow tag sits
+	// between UDP and BTH, demultiplexing guest flows that share one host
+	// connection. Plain RoCEv2 on 4791 never carries the extra header.
+	PortRoCEShared uint16 = 4790
 )
 
 // Ethernet is an Ethernet II frame header.
@@ -198,6 +203,11 @@ func (h *UDP) unmarshal(b []byte) (int, error) {
 // VXLAN is a VXLAN header (RFC 7348).
 type VXLAN struct {
 	VNI uint32 // 24 bits
+	// FlowTag demultiplexes guest flows sharing one host connection
+	// (shared-connection mode). A nonzero tag is carried in the first
+	// reserved field behind a private flag bit; a zero tag marshals a
+	// byte-identical standard VXLAN header.
+	FlowTag uint16
 }
 
 func (*VXLAN) LayerType() LayerType { return LayerVXLAN }
@@ -206,6 +216,11 @@ func (*VXLAN) headerLen() int       { return 8 }
 func (h *VXLAN) marshal(b []byte) {
 	b[0] = 0x08 // I flag: VNI valid
 	b[1], b[2], b[3] = 0, 0, 0
+	if h.FlowTag != 0 {
+		b[0] |= 0x04 // private flag: flow tag valid
+		b[1] = byte(h.FlowTag >> 8)
+		b[2] = byte(h.FlowTag)
+	}
 	b[4] = byte(h.VNI >> 16)
 	b[5] = byte(h.VNI >> 8)
 	b[6] = byte(h.VNI)
@@ -220,5 +235,9 @@ func (h *VXLAN) unmarshal(b []byte) (int, error) {
 		return 0, fmt.Errorf("packet: vxlan I flag not set")
 	}
 	h.VNI = uint32(b[4])<<16 | uint32(b[5])<<8 | uint32(b[6])
+	h.FlowTag = 0
+	if b[0]&0x04 != 0 {
+		h.FlowTag = uint16(b[1])<<8 | uint16(b[2])
+	}
 	return 8, nil
 }

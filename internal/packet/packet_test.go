@@ -546,3 +546,68 @@ func TestReadPcapRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestVXLANFlowTagRoundtrip(t *testing.T) {
+	for _, tag := range []uint16{1, 2, 0x00ff, 0xffff} {
+		var b [8]byte
+		h := VXLAN{VNI: 0xabc123, FlowTag: tag}
+		h.marshal(b[:])
+		if b[0]&0x04 == 0 {
+			t.Fatalf("tag %d: flow-tag flag bit not set", tag)
+		}
+		var got VXLAN
+		if _, err := got.unmarshal(b[:]); err != nil {
+			t.Fatal(err)
+		}
+		if got.FlowTag != tag || got.VNI != 0xabc123 {
+			t.Fatalf("tag %d: roundtrip = %+v", tag, got)
+		}
+	}
+}
+
+// TestVXLANZeroFlowTagByteIdentical: a zero flow tag marshals the exact
+// standard RFC 7348 header — the shared-connection extension is invisible
+// unless used, so default-mode traces stay byte-identical.
+func TestVXLANZeroFlowTagByteIdentical(t *testing.T) {
+	var b [8]byte
+	(&VXLAN{VNI: 0xabc123}).marshal(b[:])
+	want := [8]byte{0x08, 0, 0, 0, 0xab, 0xc1, 0x23, 0}
+	if b != want {
+		t.Fatalf("zero-tag header = %x, want %x", b, want)
+	}
+	var got VXLAN
+	if _, err := got.unmarshal(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got.FlowTag != 0 {
+		t.Fatalf("zero-tag header decoded tag %d", got.FlowTag)
+	}
+}
+
+// TestSharedPortDecode: port 4790 carries a flow-tagged VXLAN shim directly
+// in front of the BTH; the decoder surfaces both the tag and the RoCE
+// transport headers of the same frame.
+func TestSharedPortDecode(t *testing.T) {
+	payload := []byte("shared flow")
+	data := Serialize(
+		&Ethernet{Dst: MAC{2, 0, 0, 0, 0, 2}, Src: MAC{2, 0, 0, 0, 0, 1}, EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: ProtoUDP, Src: NewIP(10, 0, 0, 1), Dst: NewIP(10, 0, 0, 2)},
+		&UDP{SrcPort: 49152, DstPort: PortRoCEShared},
+		&VXLAN{VNI: 100, FlowTag: 7},
+		&BTH{OpCode: OpSendOnly, PartKey: 0xffff, DestQP: 0x11, PSN: 3},
+		Payload(payload),
+	)
+	p, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.VXLAN() == nil || p.VXLAN().FlowTag != 7 || p.VXLAN().VNI != 100 {
+		t.Fatalf("VXLAN shim = %+v", p.VXLAN())
+	}
+	if p.BTH() == nil || p.BTH().DestQP != 0x11 {
+		t.Fatalf("BTH = %+v", p.BTH())
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+}

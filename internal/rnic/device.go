@@ -20,6 +20,7 @@ type Stats struct {
 	RNRsSent             uint64
 	Dropped              uint64 // packets discarded (bad QP, ERROR state, UD without WQE...)
 	AsyncEvents          uint64 // async events raised (QP fatal, port up/down)
+	TaggedRx             uint64 // flow-tagged packets received (shared-connection mode)
 }
 
 // Device is one RoCEv2 RNIC: a physical function, up to MaxVFs virtual
@@ -107,6 +108,7 @@ type frameScratch struct {
 	eth     packet.Ethernet
 	ip      packet.IPv4
 	udp     packet.UDP
+	vx      packet.VXLAN
 	bth     packet.BTH
 	deth    packet.DETH
 	reth    packet.RETH
@@ -265,7 +267,7 @@ func (d *Device) ServePort(port *simnet.Port) {
 			pkt, err := d.pktPool.Decode(f)
 			if err != nil {
 				d.Stats.Dropped++
-			} else if u := pkt.UDP(); u != nil && u.DstPort == packet.PortRoCEv2 {
+			} else if u := pkt.UDP(); u != nil && (u.DstPort == packet.PortRoCEv2 || u.DstPort == packet.PortRoCEShared) {
 				d.Ingress.Put(pkt)
 			} else {
 				pkt.Release()
@@ -533,6 +535,11 @@ type Attr struct {
 	ToState State
 	AV      AddressVector // RTR: remote endpoint (post-RConnrename view)
 	QKey    uint32        // UD
+	// FlowTag and FlowVNI, when the tag is nonzero, mark the QP as a flow
+	// of a shared host connection (RTR only): outbound packets carry the
+	// tag in an overlay header on the shared-RoCE UDP port.
+	FlowTag uint16
+	FlowVNI uint32
 }
 
 // ModifyQP models ibv_modify_qp, enforcing the Fig. 5 state machine.
@@ -552,6 +559,8 @@ func (d *Device) ModifyQP(p *simtime.Proc, qp *QP, a Attr) error {
 		d.exec(p, VerbModifyQPRTR, qp.fn, 0)
 		qp.AV = a.AV
 		qp.QKey = a.QKey
+		qp.FlowTag = a.FlowTag
+		qp.FlowVNI = a.FlowVNI
 	case StateRTS:
 		d.exec(p, VerbModifyQPRTS, qp.fn, 0)
 	case StateError:
@@ -566,6 +575,42 @@ func (d *Device) ModifyQP(p *simtime.Proc, qp *QP, a Attr) error {
 	if a.ToState == StateError {
 		qp.flush()
 	}
+	if a.ToState == StateRTS {
+		qp.kick()
+	}
+	return nil
+}
+
+// SoftModify applies a modify_qp whose QPC rewrite happens in host memory
+// instead of device firmware (MasQ's shared-connection attach): the state
+// machine and side effects match ModifyQP, but the caller's cost is charged
+// as plain host time, so concurrent attaches never serialize behind the
+// firmware resource. Transitions with device-side work (ERROR flush cost)
+// are refused — they must go through ModifyQP.
+func (d *Device) SoftModify(p *simtime.Proc, qp *QP, a Attr, cost simtime.Duration) error {
+	if a.ToState == StateError {
+		return fmt.Errorf("rnic: soft modify to %v requires firmware; use ModifyQP", a.ToState)
+	}
+	if !transitionAllowed(qp.state, a.ToState) {
+		return fmt.Errorf("%w: %v → %v", ErrBadTransition, qp.state, a.ToState)
+	}
+	if cost > 0 {
+		p.Sleep(cost)
+	}
+	switch a.ToState {
+	case StateInit:
+		qp.SGID = qp.fn.GID(0)
+		qp.SrcIP = qp.fn.IP
+		qp.SrcMAC = qp.fn.MAC
+	case StateRTR:
+		qp.AV = a.AV
+		qp.QKey = a.QKey
+		qp.FlowTag = a.FlowTag
+		qp.FlowVNI = a.FlowVNI
+	case StateReset:
+		qp.clear()
+	}
+	qp.state = a.ToState
 	if a.ToState == StateRTS {
 		qp.kick()
 	}

@@ -28,6 +28,15 @@ type QP struct {
 	AV   AddressVector
 	QKey uint32
 
+	// FlowTag marks the QP as one flow of a shared host connection
+	// (written at RTR, zero otherwise): outbound packets carry the tag in
+	// an overlay header on the shared-RoCE port, demuxing flows that
+	// multiplex one host connection. LastRxFlowTag records the tag of the
+	// most recent tagged arrival (demux observability).
+	FlowTag       uint16
+	FlowVNI       uint32
+	LastRxFlowTag uint16
+
 	dev   *Device
 	fn    *Func
 	srq   *SRQ // shared receive queue (nil = private RQ)
@@ -101,6 +110,24 @@ func (qp *QP) SQLen() int { return len(qp.sq) }
 
 // RQLen returns the number of posted receive WRs.
 func (qp *QP) RQLen() int { return len(qp.rq) }
+
+// Rebind repoints a pooled QP at a new consumer's PD, CQs and caps (MasQ's
+// warm QP pool): a host-memory QPC rewrite with no firmware verb, legal
+// only while the QP is idle in RESET or INIT with empty work queues.
+func (qp *QP) Rebind(pd *PD, scq, rcq *CQ, caps QPCaps) error {
+	if qp.state != StateReset && qp.state != StateInit {
+		return fmt.Errorf("%w: rebind in %v", ErrBadState, qp.state)
+	}
+	if len(qp.sq) != 0 || len(qp.rq) != 0 {
+		return fmt.Errorf("rnic: rebind of QP %d with queued work", qp.Num)
+	}
+	qp.PD = pd
+	qp.SendCQ = scq
+	qp.RecvCQ = rcq
+	qp.Caps = caps
+	qp.srq = caps.SRQ
+	return nil
+}
 
 // psnDiff compares 24-bit PSNs: positive when a is ahead of b.
 func psnDiff(a, b uint32) int32 {

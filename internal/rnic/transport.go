@@ -169,9 +169,14 @@ func (qp *QP) buildNextPacket() (simnet.Frame, int, bool) {
 	// Assemble into the device's scratch encoder: slots 0-2 hold the
 	// Ethernet/IPv4/UDP headers (filled once the address vector is known),
 	// transport layers follow. Serialize copies everything out before the
-	// scratch is reused.
+	// scratch is reused. A flow-tagged QP (shared-connection mode) reserves
+	// slot 3 for the overlay header carrying the tag.
 	enc := &d.enc
-	layers := enc.layers[:3]
+	hdrSlots := 3
+	if qp.FlowTag != 0 {
+		hdrSlots = 4
+	}
+	layers := enc.layers[:hdrSlots]
 
 	switch w.wr.Op {
 	case WRRead:
@@ -266,6 +271,11 @@ func (qp *QP) buildNextPacket() (simnet.Frame, int, bool) {
 	enc.ip = packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: qp.SrcIP, Dst: av.DIP}
 	enc.udp = packet.UDP{SrcPort: 49152 + uint16(qp.Num&0x3fff), DstPort: packet.PortRoCEv2}
 	layers[0], layers[1], layers[2] = &enc.eth, &enc.ip, &enc.udp
+	if qp.FlowTag != 0 {
+		enc.udp.DstPort = packet.PortRoCEShared
+		enc.vx = packet.VXLAN{VNI: qp.FlowVNI, FlowTag: qp.FlowTag}
+		layers[3] = &enc.vx
+	}
 	frame := packet.Serialize(layers...)
 	return simnet.Frame(frame), len(frame), true
 }
@@ -404,6 +414,12 @@ func (d *Device) rxDone() {
 	d.rxPkt, d.rxQP = nil, nil
 	d.Stats.RxPackets++
 	d.Stats.RxBytes += uint64(len(pkt.Payload))
+	if u := pkt.UDP(); u != nil && u.DstPort == packet.PortRoCEShared {
+		if vx := pkt.VXLAN(); vx != nil && vx.FlowTag != 0 {
+			d.Stats.TaggedRx++
+			qp.LastRxFlowTag = vx.FlowTag
+		}
+	}
 
 	op := pkt.BTH().OpCode
 	switch {

@@ -99,6 +99,9 @@ const (
 	ModeMasQPF = cluster.ModeMasQPF
 	// ModeFreeFlow runs the container-based FreeFlow baseline.
 	ModeFreeFlow = cluster.ModeFreeFlow
+	// ModeMasQShared is MasQ with shared host connections: flows to the
+	// same peer host multiplex one carrier connection (DESIGN.md §6.1).
+	ModeMasQShared = cluster.ModeMasQShared
 )
 
 // Security rule vocabulary.
