@@ -7,6 +7,7 @@
 //	masqbench -run fig8a       # run one experiment
 //	masqbench -run fig8a,fig10 # run several
 //	masqbench -all             # run everything (slow)
+//	masqbench -shards 4        # sharded-engine determinism fingerprint
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` at exit")
 	simbench := flag.String("simbench", "", "measure the simulation core and write the report to `file` (e.g. BENCH_simcore.json)")
+	shards := flag.Int("shards", 0, "run the sharded-engine determinism workload on `N` shards and print its fingerprint (byte-identical for every N)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -61,6 +63,12 @@ func main() {
 	}
 
 	switch {
+	case *shards > 0:
+		// The fingerprint intentionally excludes the shard count and wall
+		// time, so `masqbench -shards 1` and `masqbench -shards 4` emit
+		// byte-identical output iff the parallel engine replays the
+		// single-shard oracle exactly. CI diffs the two.
+		fmt.Println(bench.ShardDeterminismRun(*shards))
 	case *simbench != "":
 		rep := bench.SimCoreBench()
 		f, err := os.Create(*simbench)

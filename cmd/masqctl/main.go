@@ -233,7 +233,7 @@ func main() {
 			fmt.Printf("  trace: %s\n", line)
 		}
 		for i, l := range tb.Links {
-			st := l.Stats
+			st := l.Stats()
 			fmt.Printf("link%d: %d delivered, %d dropped (%d link-down, %d loss-model, %d hook)\n",
 				i, st.Delivered, st.Dropped, st.DroppedDown, st.DroppedLoss, st.DroppedHook)
 		}

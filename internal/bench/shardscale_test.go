@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"masq/internal/simtime"
+)
+
+// TestShardScaleDeterminism: the scaling workload's digest — per-host tick
+// and token counters plus the final clock — is identical no matter how many
+// shards execute it. This is the cheap in-tree version of the CI guard.
+func TestShardScaleDeterminism(t *testing.T) {
+	until := simtime.Time(simtime.Ms(2))
+	ev1, _, d1 := shardScaleRun(8, 1, 2, until)
+	for _, shards := range []int{2, 4} {
+		ev, _, d := shardScaleRun(8, shards, 2, until)
+		if d != d1 {
+			t.Fatalf("digest diverges: shards=1 %016x vs shards=%d %016x", d1, shards, d)
+		}
+		if ev != ev1 {
+			t.Fatalf("event counts diverge: shards=1 %d vs shards=%d %d", ev1, shards, ev)
+		}
+	}
+}
+
+// TestShardScaleCurveShape: the curve helper fills speedup relative to the
+// 1-shard baseline and stamps equal digests.
+func TestShardScaleCurveShape(t *testing.T) {
+	pts := ShardScaleCurve(8, []int{1, 2}, simtime.Time(simtime.Ms(1)))
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Speedup != 1.0 {
+		t.Fatalf("baseline speedup %v, want 1.0", pts[0].Speedup)
+	}
+	if pts[0].Digest != pts[1].Digest {
+		t.Fatalf("digests diverge across shard counts: %s vs %s", pts[0].Digest, pts[1].Digest)
+	}
+	if pts[1].Speedup <= 0 {
+		t.Fatalf("speedup not computed: %+v", pts[1])
+	}
+}

@@ -22,6 +22,11 @@ type SimCoreMetric struct {
 // SimCoreReport is the perf snapshot emitted as BENCH_simcore.json so the
 // engine's wall-clock trajectory is tracked across PRs.
 type SimCoreReport struct {
+	// HostCPUs/GoMaxProcs qualify the shard-scaling numbers: parallel
+	// speedup needs GOMAXPROCS >= shards; with fewer cores any remaining
+	// gain comes from smaller per-shard heaps, not concurrency.
+	HostCPUs   int `json:"host_cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
 	// Primitives are steady-state micro-measurements of the DES core.
 	Primitives []SimCoreMetric `json:"primitives"`
 	// EndToEnd runs one NIC-cache ablation cell (64 QPs, 512 B writes over
@@ -32,6 +37,10 @@ type SimCoreReport struct {
 		WallSeconds  float64 `json:"wall_seconds"`
 		EventsPerSec float64 `json:"events_per_sec"`
 	} `json:"end_to_end"`
+	// ShardScaling is the parallel-engine curve: the 64-host ring workload
+	// at increasing shard counts. Digests must all match (same history);
+	// events/sec shows how the conservative windows scale on this host.
+	ShardScaling []ShardScalePoint `json:"shard_scaling"`
 }
 
 // measure runs setup once, then op n times, and reports wall time, heap
@@ -61,7 +70,10 @@ func measure(name string, n int, setup func() (*simtime.Engine, func())) SimCore
 // experiment cell.
 func SimCoreBench() *SimCoreReport {
 	const n = 200000
-	rep := &SimCoreReport{}
+	rep := &SimCoreReport{
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
 
 	rep.Primitives = append(rep.Primitives, measure("sleep_wake", n, func() (*simtime.Engine, func()) {
 		eng := simtime.NewEngine()
@@ -130,6 +142,8 @@ func SimCoreBench() *SimCoreReport {
 	rep.EndToEnd.Events = cp.TB.Eng.Events()
 	rep.EndToEnd.WallSeconds = wall
 	rep.EndToEnd.EventsPerSec = float64(cp.TB.Eng.Events()) / wall
+
+	rep.ShardScaling = ShardScaleCurve(64, []int{1, 2, 4, 8}, simtime.Time(simtime.Ms(20)))
 	return rep
 }
 

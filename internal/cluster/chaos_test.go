@@ -322,8 +322,9 @@ func soakSummary(t *testing.T, seed int64) []byte {
 	fmt.Fprintf(&sum, "\nA msgs=%d bytes=%d fatals=%d reconnects=%d\n", a.Msgs, a.Bytes, a.Fatals, a.Reconnects)
 	fmt.Fprintf(&sum, "B msgs=%d bytes=%d fatals=%d reconnects=%d\n", b.Msgs, b.Bytes, b.Fatals, b.Reconnects)
 	for i, l := range tb.Links {
+		st := l.Stats()
 		fmt.Fprintf(&sum, "link%d delivered=%d dropped=%d down=%d loss=%d\n",
-			i, l.Stats.Delivered, l.Stats.Dropped, l.Stats.DroppedDown, l.Stats.DroppedLoss)
+			i, st.Delivered, st.Dropped, st.DroppedDown, st.DroppedLoss)
 	}
 	for i, be := range tb.Backends {
 		if be == nil {

@@ -71,6 +71,20 @@ type Config struct {
 	PropDelay simtime.Duration
 	SwitchFwd simtime.Duration
 
+	// Shards runs the testbed on a parallel ShardedEngine: host i (its
+	// RNIC, vswitch, VMs, procs) lives on shard i % Shards, while the ToR
+	// switch, controller, fabric, and chaos injector stay on shard 0. The
+	// underlay links become cross-shard exchanges whose minimum latency is
+	// PropDelay, which therefore must be positive and becomes the engine's
+	// conservative lookahead. 0 (the default) keeps the classic single
+	// Engine with no exchange machinery; 1 runs the sharded machinery on
+	// one shard — the reference oracle that N-shard runs are byte-compared
+	// against. With Shards > 1 only ModeHost and ModeSRIOV nodes are
+	// supported (MasQ and FreeFlow call into the shared controller from
+	// host procs, which is not shard-safe yet) and chaos plans are
+	// rejected (fault callbacks mutate devices across shards).
+	Shards int
+
 	// Trace enables the cross-layer span recorder: Testbed.Trace is
 	// created and threaded through every device, backend, ring and the
 	// controller, and each node's verbs device is wrapped so control verbs
@@ -98,8 +112,15 @@ func DefaultConfig() Config {
 
 // Testbed is an assembled cluster.
 type Testbed struct {
-	Eng      *simtime.Engine
-	Cfg      Config
+	// Eng is the control-plane engine: shard 0 of Sharded when the testbed
+	// is sharded, or the single global engine otherwise. The controller,
+	// fabric, ToR switch, and chaos injector live on it.
+	Eng *simtime.Engine
+	// Sharded is the parallel engine driving all shards, non-nil iff
+	// Cfg.Shards > 0. Drive sharded testbeds with tb.Run/tb.RunUntil (or
+	// Sharded.Run), never Eng.Run — shard 0 alone would starve the rest.
+	Sharded *simtime.ShardedEngine
+	Cfg     Config
 	Hosts    []*hyper.Host
 	Fab      *overlay.Fabric
 	Ctrl     *controller.Controller
@@ -133,9 +154,23 @@ func New(cfg Config) *Testbed {
 	if cfg.Hosts == 0 {
 		cfg = DefaultConfig()
 	}
-	eng := simtime.NewEngine()
+	var eng *simtime.Engine
+	var se *simtime.ShardedEngine
+	if cfg.Shards > 0 {
+		if cfg.PropDelay <= 0 {
+			panic("cluster: sharded testbeds need PropDelay > 0 (it is the conservative lookahead)")
+		}
+		if cfg.Shards > 1 && len(cfg.Chaos.Events) > 0 {
+			panic("cluster: chaos plans are not supported with Shards > 1")
+		}
+		se = simtime.NewSharded(cfg.Shards)
+		eng = se.Shard(0)
+	} else {
+		eng = simtime.NewEngine()
+	}
 	tb := &Testbed{
 		Eng:       eng,
+		Sharded:   se,
 		Cfg:       cfg,
 		Ctrl:      controller.New(eng, cfg.Ctrl),
 		neighbors: make(map[packet.IP]packet.MAC),
@@ -144,7 +179,7 @@ func New(cfg Config) *Testbed {
 	tb.Fab = overlay.NewFabric(eng, cfg.Overlay)
 	tb.Ctrl.SetFaultPlan(cfg.CtrlFault)
 	if cfg.Trace {
-		tb.Trace = trace.New()
+		tb.Trace = trace.NewSharded(max(cfg.Shards, 1))
 		tb.Ctrl.SetRecorder(tb.Trace)
 	}
 
@@ -155,7 +190,7 @@ func New(cfg Config) *Testbed {
 	for i := 0; i < cfg.Hosts; i++ {
 		ip := packet.NewIP(172, 16, byte(i>>8), byte(i+1))
 		mac := packet.MAC{0x02, 0x10, 0, 0, byte(i >> 8), byte(i)}
-		h := hyper.NewHost(eng, hyper.HostConfig{
+		h := hyper.NewHost(tb.HostEngine(i), hyper.HostConfig{
 			Name: fmt.Sprintf("host%d", i), IP: ip, MAC: mac,
 			MemBytes: cfg.HostMem, RNIC: cfg.RNIC, Hyper: cfg.Hyper,
 			Fabric: tb.Fab, ResolveHost: resolveHost,
@@ -167,13 +202,21 @@ func New(cfg Config) *Testbed {
 	tb.Backends = make([]*masq.Backend, cfg.Hosts)
 	tb.routers = make([]*freeflow.Router, cfg.Hosts)
 
-	if cfg.Hosts == 2 {
+	switch {
+	case cfg.Hosts == 2 && se == nil:
 		tb.Links = append(tb.Links,
 			simnet.Connect(eng, tb.Hosts[0].Port, tb.Hosts[1].Port, cfg.RNIC.LineRate, cfg.PropDelay))
-	} else {
+	case cfg.Hosts == 2:
+		tb.Links = append(tb.Links,
+			simnet.ConnectVia(se, tb.Hosts[0].Port, tb.Hosts[1].Port, cfg.RNIC.LineRate, cfg.PropDelay))
+	default:
 		tb.Switch = simnet.NewSwitch(eng, "tor", cfg.SwitchFwd)
 		for _, h := range tb.Hosts {
-			tb.Links = append(tb.Links, tb.Switch.AttachPort(h.Port, cfg.RNIC.LineRate, cfg.PropDelay))
+			if se == nil {
+				tb.Links = append(tb.Links, tb.Switch.AttachPort(h.Port, cfg.RNIC.LineRate, cfg.PropDelay))
+			} else {
+				tb.Links = append(tb.Links, tb.Switch.AttachPortVia(se, h.Port, cfg.RNIC.LineRate, cfg.PropDelay))
+			}
 		}
 	}
 
@@ -195,6 +238,43 @@ func New(cfg Config) *Testbed {
 	}
 	tb.Chaos.Arm(cfg.Chaos)
 	return tb
+}
+
+// HostEngine returns the engine host i's components run on: shard
+// i % Shards of the sharded engine, or the single global engine. Spawn
+// workload procs that touch host i's devices on this engine.
+func (tb *Testbed) HostEngine(i int) *simtime.Engine {
+	if tb.Sharded == nil {
+		return tb.Eng
+	}
+	return tb.Sharded.Shard(i % tb.Sharded.NumShards())
+}
+
+// Run drives the testbed to quiescence — on the sharded engine when
+// configured, the classic engine otherwise — and returns the final
+// virtual time.
+func (tb *Testbed) Run() simtime.Time {
+	if tb.Sharded != nil {
+		return tb.Sharded.Run()
+	}
+	return tb.Eng.Run()
+}
+
+// RunUntil drives the testbed up to the deadline (see Engine.RunUntil).
+func (tb *Testbed) RunUntil(deadline simtime.Time) simtime.Time {
+	if tb.Sharded != nil {
+		return tb.Sharded.RunUntil(deadline)
+	}
+	return tb.Eng.RunUntil(deadline)
+}
+
+// PendingProcs lists blocked procs across every shard of the testbed's
+// engine, for post-run diagnostics.
+func (tb *Testbed) PendingProcs() []string {
+	if tb.Sharded != nil {
+		return tb.Sharded.PendingProcs()
+	}
+	return tb.Eng.PendingProcs()
 }
 
 // HostLink returns the underlay link adjacent to host i: the single
@@ -308,6 +388,16 @@ func (n *Node) Crashed() bool { return n.crashed }
 // NewNode creates a workload endpoint on a host under the given mode,
 // attached to tenant vni at virtual IP vip.
 func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*Node, error) {
+	if tb.Sharded != nil && tb.Sharded.NumShards() > 1 {
+		switch mode {
+		case ModeHost, ModeSRIOV:
+			// Shard-safe: after setup these nodes only interact across
+			// hosts through simnet frames, which ride the exchanges.
+		default:
+			return nil, fmt.Errorf("cluster: %v nodes call the shared controller from host procs, "+
+				"which is not shard-safe; use ModeHost or ModeSRIOV with Shards > 1", mode)
+		}
+	}
 	tb.nodeSeq++
 	name := fmt.Sprintf("%s-%d", mode, tb.nodeSeq)
 	h := tb.Hosts[hostIdx]
@@ -326,7 +416,7 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 			Dev: h.Dev, Fn: h.Dev.PF(), Mem: h.HVA, Resolve: tb.resolveUnderlayGID,
 		})
 		n.compute = func(p *simtime.Proc, d simtime.Duration) { p.Sleep(d) }
-		n.OOB = newOOB(tb, vni, vp)
+		n.OOB = newOOB(tb, h, vni, vp)
 	case ModeSRIOV:
 		vm, err := h.NewVM(name, tb.Cfg.VMMem, vni, vip)
 		if err != nil {
@@ -346,7 +436,7 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 		n.Provider = pr
 		n.VF = vf
 		n.compute = vm.Compute
-		n.OOB = newOOB(tb, vni, vm.VNIC)
+		n.OOB = newOOB(tb, h, vni, vm.VNIC)
 	case ModeMasQ, ModeMasQPF, ModeMasQShared:
 		if mode == ModeMasQPF {
 			tb.SetMasqMode(masq.ModePF)
@@ -367,7 +457,7 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 		n.Mem = vm.GVA
 		n.Provider = fe
 		n.compute = vm.Compute
-		n.OOB = newOOB(tb, vni, vm.VNIC)
+		n.OOB = newOOB(tb, h, vni, vm.VNIC)
 	case ModeFreeFlow:
 		c, err := h.NewContainer(name, vni, vip)
 		if err != nil {
@@ -388,7 +478,7 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 			return ep.HostIP, ep.HostMAC, true
 		})
 		n.compute = c.Compute
-		n.OOB = newOOB(tb, vni, c.VNIC)
+		n.OOB = newOOB(tb, h, vni, c.VNIC)
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %v", mode)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"masq/internal/hyper"
 	ooblib "masq/internal/oob"
 	"masq/internal/overlay"
 	"masq/internal/packet"
@@ -15,8 +16,12 @@ import (
 // oob aliases the stack type for Node fields.
 type oob = ooblib.Stack
 
-func newOOB(tb *Testbed, vni uint32, vp *overlay.VMPort) *oob {
-	return ooblib.NewStack(tb.Eng, vp, func(dst packet.IP) (packet.MAC, bool) {
+// newOOB builds a node's out-of-band stack on its host's engine, so its
+// retransmission timers and flows stay on the host's shard. The resolver
+// closure reads fabric state that is only written at build time, which
+// keeps the concurrent cross-shard reads safe.
+func newOOB(tb *Testbed, h *hyper.Host, vni uint32, vp *overlay.VMPort) *oob {
+	return ooblib.NewStack(h.Eng, vp, func(dst packet.IP) (packet.MAC, bool) {
 		ep := tb.Fab.Lookup(vni, dst)
 		if ep == nil {
 			return packet.MAC{}, false

@@ -159,6 +159,7 @@ type VSwitch struct {
 	Ingress *simtime.Queue[*packet.Packet]
 
 	fab      *Fabric
+	eng      *simtime.Engine // the host's shard: all vswitch work runs here
 	uplink   *simnet.Port
 	ports    map[epKey]*VMPort
 	egress   *simtime.Queue[egressJob]
@@ -176,24 +177,35 @@ type flowKey struct {
 	src, dst packet.IP
 }
 
-// NewVSwitch creates the host's vswitch and starts its pumps. uplink is
-// the host's physical port; resolver maps peer host IPs to their MACs
-// (the underlay neighbor table).
+// NewVSwitch creates the host's vswitch on the fabric's engine and starts
+// its pumps. uplink is the host's physical port; resolver maps peer host
+// IPs to their MACs (the underlay neighbor table).
 func (f *Fabric) NewVSwitch(hostIP packet.IP, hostMAC packet.MAC, uplink *simnet.Port, resolver func(packet.IP) (packet.MAC, bool)) *VSwitch {
+	return f.NewVSwitchOn(f.eng, hostIP, hostMAC, uplink, resolver)
+}
+
+// NewVSwitchOn is NewVSwitch with an explicit home engine. On a sharded
+// testbed the vswitch must live on its HOST's shard, not the fabric's:
+// every queue, worker proc, and per-frame Sleep here charges virtual time
+// to eng's clock, and the host's VMs put frames into those queues
+// synchronously. The fabric itself stays global — its registry is written
+// at build time and only read from the data path.
+func (f *Fabric) NewVSwitchOn(eng *simtime.Engine, hostIP packet.IP, hostMAC packet.MAC, uplink *simnet.Port, resolver func(packet.IP) (packet.MAC, bool)) *VSwitch {
 	sw := &VSwitch{
 		HostIP:   hostIP,
 		HostMAC:  hostMAC,
-		Ingress:  simtime.NewQueue[*packet.Packet](f.eng),
+		Ingress:  simtime.NewQueue[*packet.Packet](eng),
 		fab:      f,
+		eng:      eng,
 		uplink:   uplink,
 		ports:    make(map[epKey]*VMPort),
-		egress:   simtime.NewQueue[egressJob](f.eng),
+		egress:   simtime.NewQueue[egressJob](eng),
 		conns:    make(map[flowKey]uint64),
 		resolver: resolver,
 	}
 	f.switches[hostIP] = sw
-	f.eng.Spawn(fmt.Sprintf("vswitch:%v:egress", hostIP), sw.egressLoop)
-	f.eng.Spawn(fmt.Sprintf("vswitch:%v:ingress", hostIP), sw.ingressLoop)
+	eng.Spawn(fmt.Sprintf("vswitch:%v:egress", hostIP), sw.egressLoop)
+	eng.Spawn(fmt.Sprintf("vswitch:%v:ingress", hostIP), sw.ingressLoop)
 	return sw
 }
 
@@ -222,7 +234,7 @@ func (sw *VSwitch) AttachVM(vni uint32, vip packet.IP) (*VMPort, error) {
 		VNI: vni, VIP: vip, VMAC: sw.fab.allocMAC(),
 		HostIP: sw.HostIP, HostMAC: sw.HostMAC,
 	}
-	vp := &VMPort{EP: ep, RX: simtime.NewQueue[simnet.Frame](sw.fab.eng), sw: sw}
+	vp := &VMPort{EP: ep, RX: simtime.NewQueue[simnet.Frame](sw.eng), sw: sw}
 	ep.port = vp
 	sw.fab.endpoints[key] = ep
 	sw.ports[key] = vp

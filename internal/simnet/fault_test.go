@@ -37,7 +37,7 @@ func TestLinkDownDropsWithCause(t *testing.T) {
 	if got != 2 {
 		t.Fatalf("delivered %d frames, want 2", got)
 	}
-	st := l.Stats
+	st := l.Stats()
 	if st.Delivered != 2 || st.Dropped != 2 || st.DroppedDown != 2 {
 		t.Fatalf("stats = %+v, want 2 delivered, 2 dropped (down)", st)
 	}
@@ -59,7 +59,7 @@ func TestLossModelWindowIsDeterministic(t *testing.T) {
 			}
 		})
 		eng.Run()
-		return got, l.Stats
+		return got, l.Stats()
 	}
 	got1, st1 := run()
 	got2, st2 := run()
@@ -96,8 +96,8 @@ func TestLossModelBurstDrainsConsecutively(t *testing.T) {
 		a.Send(frameTo(macB, macA, 100))
 	})
 	eng.Run()
-	if got != 1 || l.Stats.DroppedLoss != 6 {
-		t.Fatalf("delivered=%d droppedLoss=%d, want 1 and 6", got, l.Stats.DroppedLoss)
+	if got != 1 || l.Stats().DroppedLoss != 6 {
+		t.Fatalf("delivered=%d droppedLoss=%d, want 1 and 6", got, l.Stats().DroppedLoss)
 	}
 }
 
@@ -115,8 +115,8 @@ func TestLegacyDropHookCountsAsHook(t *testing.T) {
 		a.Send(frameTo(macB, macA, 10))
 	})
 	eng.Run()
-	if got != 1 || l.Stats.DroppedHook != 1 {
-		t.Fatalf("delivered=%d droppedHook=%d, want 1 and 1", got, l.Stats.DroppedHook)
+	if got != 1 || l.Stats().DroppedHook != 1 {
+		t.Fatalf("delivered=%d droppedHook=%d, want 1 and 1", got, l.Stats().DroppedHook)
 	}
 }
 

@@ -41,17 +41,23 @@ type Port struct {
 	Name string
 	RX   *simtime.Queue[Frame]
 
-	tx func(Frame)
+	eng *simtime.Engine
+	tx  func(Frame)
 
 	// Counters, maintained by the link layer.
 	TxBytes, RxBytes   uint64
 	TxFrames, RxFrames uint64
 }
 
-// NewPort returns an unattached port.
+// NewPort returns an unattached port. The engine is the port's home shard:
+// frames are delivered into RX on it, and ConnectVia uses it to decide
+// whether a link crosses shards.
 func NewPort(eng *simtime.Engine, name string) *Port {
-	return &Port{Name: name, RX: simtime.NewQueue[Frame](eng)}
+	return &Port{Name: name, RX: simtime.NewQueue[Frame](eng), eng: eng}
 }
+
+// Engine returns the engine the port was created on.
+func (p *Port) Engine() *simtime.Engine { return p.eng }
 
 // Attached reports whether the port has been wired to a link.
 func (p *Port) Attached() bool { return p.tx != nil }
@@ -143,18 +149,36 @@ type Link struct {
 	// SetLoss, whose drops are attributed in Stats.
 	Drop func(Frame) bool
 
-	// Stats counts delivered and discarded frames for both directions.
-	Stats LinkStats
+	dirs  [2]*linkDir
+	cross bool // endpoints live on different shards (ConnectVia)
+	down  bool
+	loss  *LossModel
+	tap   *Tap
+}
 
-	down bool
-	loss *LossModel
-	tap  *Tap
+// Stats sums both directions' frame accounting. Counters live per
+// direction so that the two halves of a cross-shard link never write the
+// same memory; read Stats only while the simulation is quiesced.
+func (l *Link) Stats() LinkStats {
+	var st LinkStats
+	for _, d := range l.dirs {
+		if d == nil {
+			continue
+		}
+		st.Delivered += d.stats.Delivered
+		st.Dropped += d.stats.Dropped
+		st.DroppedDown += d.stats.DroppedDown
+		st.DroppedLoss += d.stats.DroppedLoss
+		st.DroppedHook += d.stats.DroppedHook
+	}
+	return st
 }
 
 // SetDown raises or clears the link's administrative down state. While
 // down, every frame that finishes serializing (either direction) is
 // discarded and counted in Stats.DroppedDown; frames already propagating
-// are delivered (they left the wire before the cut).
+// are delivered (they left the wire before the cut). Fault injection is
+// not supported on cross-shard links: the flag is read by both shards.
 func (l *Link) SetDown(down bool) { l.down = down }
 
 // IsDown reports the administrative state.
@@ -186,20 +210,55 @@ type TappedFrame struct {
 func (t *Tap) Frames() []TappedFrame { return t.frames }
 
 // AttachTap starts capturing on the link and returns the tap. Frames are
-// copied, so later buffer reuse cannot corrupt the capture.
+// copied, so later buffer reuse cannot corrupt the capture. Taps record
+// both directions into one buffer, so they are not available on links
+// whose endpoints live on different shards.
 func (l *Link) AttachTap() *Tap {
+	if l.cross {
+		panic("simnet: tap on cross-shard link " + l.Name())
+	}
 	if l.tap == nil {
 		l.tap = &Tap{}
 	}
 	return l.tap
 }
 
+// MinLatency returns the link's guaranteed minimum delivery latency: its
+// propagation delay. The sharded topology's conservative lookahead is the
+// minimum MinLatency over all cross-shard links.
+func (l *Link) MinLatency() simtime.Duration { return l.PropDelay }
+
+// CrossShard reports whether the link was wired across shards. Fault
+// injection (SetDown, SetLoss, Drop) and taps touch state shared by both
+// directions and are not supported on cross-shard links.
+func (l *Link) CrossShard() bool { return l.cross }
+
 // Connect wires ports a and b with a link of the given bandwidth and
 // propagation delay and starts its pump processes.
 func Connect(eng *simtime.Engine, a, b *Port, bandwidth float64, prop simtime.Duration) *Link {
 	l := &Link{A: a, B: b, Bandwidth: bandwidth, PropDelay: prop}
-	l.pump(eng, a, b)
-	l.pump(eng, b, a)
+	l.dirs[0] = l.pump(eng, a, b)
+	l.dirs[1] = l.pump(eng, b, a)
+	return l
+}
+
+// ConnectVia wires ports a and b like Connect, but routes each direction's
+// propagation through a ShardedEngine exchange so the endpoints may live
+// on different shards (each port's home engine decides its shard). The
+// propagation delay doubles as the link's declared minimum latency, which
+// bounds the topology's conservative lookahead — so it must be positive.
+// An exchange is created even when both ports share a shard: the oracle
+// property (a 1-shard run byte-identical to an N-shard run) depends on
+// every ConnectVia link taking the staged, window-ordered delivery path
+// regardless of shard placement.
+func ConnectVia(se *simtime.ShardedEngine, a, b *Port, bandwidth float64, prop simtime.Duration) *Link {
+	l := &Link{A: a, B: b, Bandwidth: bandwidth, PropDelay: prop}
+	sa, sb := a.eng.ShardID(), b.eng.ShardID()
+	l.cross = sa != sb
+	l.dirs[0] = l.pump(a.eng, a, b)
+	l.dirs[0].xchg = se.NewExchange(sa, sb, prop)
+	l.dirs[1] = l.pump(b.eng, b, a)
+	l.dirs[1].xchg = se.NewExchange(sb, sa, prop)
 	return l
 }
 
@@ -208,20 +267,26 @@ func Connect(eng *simtime.Engine, a, b *Port, bandwidth float64, prop simtime.Du
 // The serialization stage runs inline in the engine loop (no goroutine per
 // direction), and its state machine — one frame in serialization at a time,
 // the rest queued — matches the FIFO the process version modeled.
-func (l *Link) pump(eng *simtime.Engine, from, to *Port) {
+func (l *Link) pump(eng *simtime.Engine, from, to *Port) *linkDir {
 	d := &linkDir{l: l, eng: eng, to: to, q: simtime.NewQueue[Frame](eng)}
 	from.tx = d.q.Put
 	d.serve = d.start
 	d.done = eng.NewTimer(d.txDone)
 	d.q.OnNext(d.serve)
+	return d
 }
 
-// linkDir is one direction of a link's serialization pipeline.
+// linkDir is one direction of a link's serialization pipeline. Everything
+// it owns — queue, timers, pools, counters — lives on the sender's shard;
+// only the final delivery hop crosses to the receiver, via xchg when the
+// link was wired with ConnectVia.
 type linkDir struct {
 	l       *Link
 	eng     *simtime.Engine
 	to      *Port
 	q       *simtime.Queue[Frame]
+	xchg    *simtime.Exchange // cross-shard delivery lane (nil for Connect links)
+	stats   LinkStats
 	serve   func(Frame)    // cached OnNext callback (avoids method-value allocs)
 	done    *simtime.Timer // fires when the in-flight frame finishes serializing
 	pending Frame
@@ -238,6 +303,16 @@ type propJob struct {
 }
 
 func (d *linkDir) propagate(f Frame) {
+	if d.xchg != nil {
+		// ConnectVia link: deliver through the exchange. The arrival time is
+		// now + PropDelay >= now + lookahead (the lookahead is the minimum
+		// PropDelay over all exchanges), so the conservative bound holds by
+		// construction. The receiving shard applies deliveries in (time,
+		// exchange, seq) order at its next window boundary.
+		to := d.to
+		d.xchg.Send(d.eng.Now().Add(d.l.PropDelay), func() { to.deliver(f) })
+		return
+	}
 	var j *propJob
 	if n := len(d.propFree); n > 0 {
 		j = d.propFree[n-1]
@@ -276,16 +351,16 @@ func (d *linkDir) txDone() {
 	}
 	switch {
 	case l.down:
-		l.Stats.Dropped++
-		l.Stats.DroppedDown++
+		d.stats.Dropped++
+		d.stats.DroppedDown++
 	case l.loss != nil && l.loss.drop(d.eng.Now()):
-		l.Stats.Dropped++
-		l.Stats.DroppedLoss++
+		d.stats.Dropped++
+		d.stats.DroppedLoss++
 	case l.Drop != nil && l.Drop(f):
-		l.Stats.Dropped++
-		l.Stats.DroppedHook++
+		d.stats.Dropped++
+		d.stats.DroppedHook++
 	default:
-		l.Stats.Delivered++
+		d.stats.Delivered++
 		d.propagate(f)
 	}
 	if next, ok := d.q.TryGet(); ok {
@@ -337,19 +412,35 @@ func NewSwitch(eng *simtime.Engine, name string, forwardDelay simtime.Duration) 
 // the given speed, and starts forwarding for it. The created link is
 // returned (and retained in Links) so faults can target it.
 func (s *Switch) AttachPort(peer *Port, bandwidth float64, prop simtime.Duration) *Link {
+	sp := s.newPort()
+	l := Connect(s.eng, sp, peer, bandwidth, prop)
+	s.links = append(s.links, l)
+	return l
+}
+
+// AttachPortVia is AttachPort for sharded topologies: the uplink is wired
+// with ConnectVia, so the peer may live on a different shard than the
+// switch. The switch itself (its forwarding state and FDB) stays on the
+// shard of the engine it was created with.
+func (s *Switch) AttachPortVia(se *simtime.ShardedEngine, peer *Port, bandwidth float64, prop simtime.Duration) *Link {
+	sp := s.newPort()
+	l := ConnectVia(se, sp, peer, bandwidth, prop)
+	s.links = append(s.links, l)
+	return l
+}
+
+// newPort adds a switch port and starts its forwarding pipeline: hold
+// each frame for the fixed lookup delay, then forward; arrivals during
+// the delay queue on the port.
+func (s *Switch) newPort() *Port {
 	idx := len(s.ports)
 	sp := NewPort(s.eng, s.Name+".p"+itoa(idx))
 	s.ports = append(s.ports, sp)
-	l := Connect(s.eng, sp, peer, bandwidth, prop)
-	s.links = append(s.links, l)
-	// Per-port forwarding runs as a callback pipeline: hold each frame for
-	// the fixed lookup delay, then forward; arrivals during the delay queue
-	// on the port.
 	fw := &switchPort{s: s, in: idx, rx: sp.RX}
 	fw.serve = fw.start
 	fw.done = s.eng.NewTimer(fw.fwdDone)
 	sp.RX.OnNext(fw.serve)
-	return l
+	return sp
 }
 
 // switchPort is one switch port's store-and-forward state machine.

@@ -80,23 +80,37 @@ func (t Time) String() string { return Duration(t).String() }
 type event struct {
 	at     Time
 	seq    uint64 // tie-break so equal-time events run in schedule order
+	xkey   uint64 // cross-shard ordering key; 0 for ordinary local events
 	fn     func() // runs inline in the engine loop; must not block
 	pooled bool   // engine-owned: recycle onto the free list after firing
 	inHeap bool   // double-schedule guard for intrusive events
 }
 
-// eventQueue is a 4-ary min-heap over (at, seq). Because seq is unique,
-// the ordering is a strict total order and the minimum is always unique, so
-// the pop sequence — and therefore the simulation — is independent of heap
-// shape and arity. The 4-ary layout halves the tree depth of a binary heap
-// and the hand-rolled sift loops (hole-based, no interface dispatch, no
-// swaps) take heap maintenance off the hot-path profile.
+// eventQueue is a 4-ary min-heap over (at, xkey, seq). Because seq is
+// unique, the ordering is a strict total order and the minimum is always
+// unique, so the pop sequence — and therefore the simulation — is
+// independent of heap shape and arity. The 4-ary layout halves the tree
+// depth of a binary heap and the hand-rolled sift loops (hole-based, no
+// interface dispatch, no swaps) take heap maintenance off the hot-path
+// profile.
+//
+// xkey exists for the sharded engine. Local events carry xkey 0 and tie-
+// break on seq, the insertion order. Exchange deliveries carry a key built
+// from (exchange ID, per-exchange send sequence), which (a) runs every
+// cross-shard delivery at an instant after the instant's local events, and
+// (b) orders simultaneous deliveries by wiring order rather than by the
+// window that happened to carry them. Both rules depend only on values
+// that are invariant across shard counts, which is what lets an N-shard
+// run replay the 1-shard oracle byte for byte.
 type eventQueue []*event
 
 // before reports whether a orders strictly before b.
 func eventBefore(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.xkey != b.xkey {
+		return a.xkey < b.xkey
 	}
 	return a.seq < b.seq
 }
@@ -165,6 +179,7 @@ type Engine struct {
 	current *Proc
 	turn    chan struct{}
 	stopped bool
+	shard   int // index within a ShardedEngine; 0 for a standalone engine
 }
 
 // NewEngine returns an engine with the clock at zero and no processes.
@@ -177,6 +192,11 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// ShardID returns the engine's index within its ShardedEngine, or 0 for a
+// standalone engine. Cross-shard plumbing (simnet exchanges, the sharded
+// trace recorder) uses it to pick the right per-shard lane.
+func (e *Engine) ShardID() int { return e.shard }
 
 // Events returns the number of events the engine has dispatched so far.
 // It is the denominator of the events-per-second wall-clock figure the
@@ -209,7 +229,32 @@ func (e *Engine) scheduleEvent(ev *event, at Time) {
 		at = e.now
 	}
 	e.seq++
+	ev.at, ev.seq, ev.xkey = at, e.seq, 0
+	ev.inHeap = true
+	e.pushEvent(ev)
+}
+
+// scheduleEx enqueues an exchange delivery with its shard-count-invariant
+// ordering key: exchange exID's send number exSeq, firing at time at. The
+// key packs (exID+1, exSeq) into 64 bits — exID+1 so every delivery sorts
+// after the instant's local events (xkey 0), with 40 bits of sequence per
+// exchange (≈10^12 sends, far beyond any simulated run).
+func (e *Engine) scheduleEx(at Time, exID int, exSeq uint64, fn func()) {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{pooled: true}
+	}
+	ev.fn = fn
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
 	ev.at, ev.seq = at, e.seq
+	ev.xkey = uint64(exID+1)<<40 | exSeq
 	ev.inHeap = true
 	e.pushEvent(ev)
 }
@@ -311,37 +356,66 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
 
 // RunUntil executes events with timestamps <= deadline and then stops,
 // leaving later events queued. It returns the virtual time when it stopped.
+//
+// Entering RunUntil (or Run) clears a previous Stop: Stop halts the
+// current run, and the next Run/RunUntil call resumes from the queued
+// events. Use Stopped between runs to observe whether the last run was
+// halted.
 func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
 	for !e.stopped && len(e.pq) > 0 {
 		ev := e.pq[0]
 		if ev.at > deadline {
 			e.now = deadline
 			return e.now
 		}
-		e.popEvent()
-		ev.inHeap = false
-		fn := ev.fn
-		// Recycle pooled events (and clear intrusive ones) before running
-		// fn, so the callback may immediately reschedule.
-		if ev.pooled {
-			ev.fn = nil
-			e.free = append(e.free, ev)
-		}
-		if fn == nil {
-			continue // cancelled
-		}
-		e.now = ev.at
-		e.nevents++
-		fn()
+		e.dispatch(ev)
 	}
 	return e.now
 }
 
+// runWindow executes events with timestamps strictly below horizon,
+// leaving the clock at the last executed event. It is the per-shard inner
+// loop of ShardedEngine: unlike RunUntil it neither clears a pending Stop
+// nor advances the clock to the horizon, so a shard's Now never outruns
+// its own event stream between barriers.
+func (e *Engine) runWindow(horizon Time) {
+	for !e.stopped && len(e.pq) > 0 {
+		ev := e.pq[0]
+		if ev.at >= horizon {
+			return
+		}
+		e.dispatch(ev)
+	}
+}
+
+// dispatch pops and executes the head event ev (== e.pq[0]).
+func (e *Engine) dispatch(ev *event) {
+	e.popEvent()
+	ev.inHeap = false
+	fn := ev.fn
+	// Recycle pooled events (and clear intrusive ones) before running
+	// fn, so the callback may immediately reschedule.
+	if ev.pooled {
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
+	if fn == nil {
+		return // cancelled
+	}
+	e.now = ev.at
+	e.nevents++
+	fn()
+}
+
 // Stop makes Run return after the current event finishes. It is safe to
-// call from inside event callbacks or processes.
+// call from inside event callbacks or processes. A stopped engine is not
+// dead: the next Run/RunUntil call clears the flag and resumes from the
+// still-queued events.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Stopped reports whether Stop has been called.
+// Stopped reports whether Stop has been called since the last time a run
+// started.
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Timer is a re-armable one-shot callback with a pre-allocated event, the

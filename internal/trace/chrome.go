@@ -27,7 +27,8 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	var events []chromeEvent
 	tids := map[string]int{}
 	if r != nil {
-		for _, s := range r.spans {
+		spans, invs := r.merged()
+		for _, s := range spans {
 			if s.open {
 				continue
 			}
@@ -42,7 +43,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			}
 			args := map[string]any{"layer": s.layer.String()}
 			if s.inv >= 0 {
-				inv := r.invs[s.inv]
+				inv := invs[s.inv]
 				args["verb"] = inv.Verb
 				args["actor"] = inv.Actor
 			}

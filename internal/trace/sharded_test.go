@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"masq/internal/simtime"
+)
+
+// record drives the same two-actor verb workload on either a plain engine
+// (both actors on shard 0) or a 2-shard engine (one actor per shard) and
+// returns the recorder. The virtual timings are identical by construction;
+// only the lane placement differs.
+func record(shards int) *Recorder {
+	se := simtime.NewSharded(shards)
+	r := NewSharded(shards)
+	for i := 0; i < 2; i++ {
+		i := i
+		eng := se.Shard(i % shards)
+		actor := []string{"vni1/a", "vni1/b"}[i]
+		eng.Spawn(actor, func(p *simtime.Proc) {
+			p.Sleep(simtime.Duration(10 * (i + 1))) // stagger starts
+			for k := 0; k < 3; k++ {
+				vc := r.BeginVerb(p, "create_qp", actor)
+				sp := r.Begin(p, LayerRNIC, "fw")
+				p.Sleep(simtime.Us(2))
+				sp.End(p)
+				r.Interval(p, LayerVirtio, "irq", p.Now(), p.Now().Add(simtime.Us(1)))
+				vc.End(p)
+				r.Add("qp_created", 1)
+				p.Sleep(simtime.Us(5))
+			}
+		})
+	}
+	se.Run()
+	return r
+}
+
+// TestShardedRecorderMatchesOracle: the merged view of a 2-lane recorder
+// (actors on separate shards) is byte-identical — Chrome export,
+// attribution, aggregates, counters — to the single-lane recording of the
+// same workload.
+func TestShardedRecorderMatchesOracle(t *testing.T) {
+	oracle, sharded := record(1), record(2)
+	if oracle.Events() == 0 {
+		t.Fatal("no spans recorded; test is vacuous")
+	}
+	if oracle.Events() != sharded.Events() {
+		t.Fatalf("span counts differ: %d vs %d", oracle.Events(), sharded.Events())
+	}
+
+	var a, b bytes.Buffer
+	if err := oracle.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("chrome export diverges:\noracle:\n%s\nsharded:\n%s", a.String(), b.String())
+	}
+
+	ao, as := oracle.Attribute(), sharded.Attribute()
+	if len(ao) != len(as) || len(ao) == 0 {
+		t.Fatalf("attribution lengths: %d vs %d", len(ao), len(as))
+	}
+	for i := range ao {
+		if ao[i].ID != as[i].ID || ao[i].Verb != as[i].Verb || ao[i].Actor != as[i].Actor ||
+			ao[i].Start != as[i].Start || ao[i].Total != as[i].Total || ao[i].Layer != as[i].Layer {
+			t.Fatalf("breakdown %d diverges:\n%+v\nvs\n%+v", i, ao[i], as[i])
+		}
+	}
+
+	co, cs := oracle.Counters(), sharded.Counters()
+	if len(co) != len(cs) {
+		t.Fatalf("counter sets differ: %v vs %v", co, cs)
+	}
+	for i := range co {
+		if co[i] != cs[i] {
+			t.Fatalf("counter %d: %v vs %v", i, co[i], cs[i])
+		}
+	}
+}
