@@ -83,6 +83,23 @@ func main() {
 		}
 		fmt.Printf("simulation core: %.0f events/sec end-to-end (%d events in %.2fs); report → %s\n",
 			rep.EndToEnd.EventsPerSec, rep.EndToEnd.Events, rep.EndToEnd.WallSeconds, *simbench)
+		var idxPt, linPt *bench.RuleScalePoint
+		for i := range rep.RuleScale {
+			pt := &rep.RuleScale[i]
+			if pt.Rules != 100000 {
+				continue
+			}
+			if pt.Engine == "indexed" {
+				idxPt = pt
+			} else {
+				linPt = pt
+			}
+		}
+		if idxPt != nil && linPt != nil {
+			fmt.Printf("rule engine at 100k rules: valid_conn %.1fµs indexed vs %.1fµs linear (%.0fx); revoke %.0fµs vs %.0fµs (%.0fx)\n",
+				idxPt.ValidateMicros, linPt.ValidateMicros, linPt.ValidateMicros/idxPt.ValidateMicros,
+				idxPt.EnforceMicros, linPt.EnforceMicros, linPt.EnforceMicros/idxPt.EnforceMicros)
+		}
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Paper)

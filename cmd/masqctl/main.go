@@ -20,6 +20,7 @@ func main() {
 	kill := flag.Bool("kill", true, "revoke a rule at the end to show RConntrack enforcement")
 	doChaos := flag.Bool("chaos", true, "inject a link outage and a VM crash at the end and dump fault counters")
 	ctrlCrash := flag.Bool("ctrlcrash", true, "crash and restart the controller at the end; show grace-mode renames, the epoch bump, and lease-driven reconvergence")
+	nrules := flag.Int("rules", 0, "bulk-load N synthetic rules into acme's chain first (e.g. 100000): the decision index keeps valid_conn and enforcement flat at any N")
 	flag.Parse()
 
 	cfg := masq.DefaultConfig()
@@ -40,6 +41,30 @@ func main() {
 	globex := tb.AddTenant(200, "globex")
 	acmeRule := tb.AllowAll(100)
 	tb.AllowAll(200)
+	if *nrules > 0 {
+		// Synthetic chain in the 198.18/15 benchmarking space — disjoint from
+		// the scenario's 10/8 VMs, so it only exercises scale, never verdicts.
+		// One AddRules call: a bulk load is a single chain sort and a single
+		// subscriber notification, not N of each.
+		seed := uint32(1)
+		next := func(m int) int {
+			seed = seed*1664525 + 1013904223
+			return int(seed>>8) % m
+		}
+		batch := make([]masq.Rule, 0, *nrules)
+		for i := 0; i < *nrules; i++ {
+			act := masq.Deny
+			if next(2) == 0 {
+				act = masq.Allow
+			}
+			src, _ := masq.ParseCIDR(fmt.Sprintf("198.18.%d.%d/%d", next(250), next(250), []int{16, 24, 32}[next(3)]))
+			dst, _ := masq.ParseCIDR(fmt.Sprintf("198.19.%d.%d/%d", next(250), next(250), []int{16, 24, 32}[next(3)]))
+			batch = append(batch, masq.Rule{
+				Priority: 2 + next(1024), Proto: masq.ProtoRDMA, Src: src, Dst: dst, Action: act,
+			})
+		}
+		acme.Policy.AddRules(batch)
+	}
 
 	mk := func(vni uint32, host int, ip masq.IP) *cluster.Node {
 		n, err := tb.NewNode(masq.ModeMasQ, host, vni, ip)
@@ -78,10 +103,21 @@ func main() {
 	fmt.Println("=== tenants ===")
 	for _, t := range []*masq.Tenant{acme, globex} {
 		fmt.Printf("VNI %-4d %-8s rules:\n", t.VNI, t.Name)
-		for _, r := range t.Policy.Rules() {
+		rules := t.Policy.Rules()
+		shown := rules
+		if len(shown) > 8 {
+			shown = shown[:8]
+		}
+		for _, r := range shown {
 			fmt.Printf("  #%d prio %-3d proto %-4v %v -> %v : %v\n",
 				r.ID, r.Priority, protoName(int(r.Proto)), r.Src, r.Dst, r.Action)
 		}
+		if len(rules) > len(shown) {
+			fmt.Printf("  … and %d more\n", len(rules)-len(shown))
+		}
+		inf := t.Policy.IndexInfo()
+		fmt.Printf("  decision index: %d rules over %d prefix-pair classes, %d buckets (%d incremental updates, %d rebuilds)\n",
+			inf.Rules, inf.Pairs, inf.Buckets, inf.Updates, inf.Rebuilds)
 	}
 
 	fmt.Println("\n=== SDN controller mapping table (VNI, vGID) -> physical ===")
@@ -122,6 +158,9 @@ func main() {
 			be.Stats.BatchRPCs, be.Stats.BatchedLookups, be.Stats.BatchMax,
 			be.Stats.PoolHits, be.Stats.PoolMisses, be.Stats.PoolRefills, be.Stats.PoolFlushes,
 			be.Stats.SharedCarriers, be.Stats.SharedAttaches, be.Stats.SharedFlushes)
+		cts := be.CT.Stats
+		fmt.Printf("  rule engine: verdict cache %d hits / %d misses; scans %d incremental, %d full, %d skipped; %d entries revalidated\n",
+			cts.VerdictHits, cts.VerdictMisses, cts.IncrScans, cts.FullScans, cts.SkippedScans, cts.Revalidated)
 		conns := be.CT.Conns()
 		sort.Slice(conns, func(a, b int) bool { return conns[a].QPN < conns[b].QPN })
 		fmt.Printf("  RCT table (%d established connections):\n", len(conns))
@@ -161,8 +200,9 @@ func main() {
 		tb.Eng.Run() // let the enforcement processes run
 		for i := range tb.Hosts {
 			be := tb.Backend(i)
-			fmt.Printf("host%d: RCT now holds %d connections; resets performed: %d\n",
-				i, len(be.CT.Conns()), be.CT.Stats.Resets)
+			fmt.Printf("host%d: RCT now holds %d connections; resets performed: %d (%d incremental / %d full scans, %d entries revalidated)\n",
+				i, len(be.CT.Conns()), be.CT.Stats.Resets,
+				be.CT.Stats.IncrScans, be.CT.Stats.FullScans, be.CT.Stats.Revalidated)
 		}
 		fmt.Println("globex's connections are untouched (different tenant policy)")
 	}

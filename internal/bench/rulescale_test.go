@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestRuleScaleSpeedup is the acceptance guard for the indexed rule
+// engine: at 100k rules the index must beat the linear scan by at least
+// 10x on BOTH valid_conn throughput and enforcement latency. (The actual
+// margins are orders of magnitude larger; 10x is the floor that must
+// never regress.)
+func TestRuleScaleSpeedup(t *testing.T) {
+	idx := runRuleScale(100000, false, false)
+	lin := runRuleScale(100000, true, false)
+	if idx.ValidatesPerSec < 10*lin.ValidatesPerSec {
+		t.Errorf("valid_conn throughput at 100k rules: indexed %.0f/s vs linear %.0f/s, want >= 10x",
+			idx.ValidatesPerSec, lin.ValidatesPerSec)
+	}
+	if lin.EnforceMicros < 10*idx.EnforceMicros {
+		t.Errorf("enforcement latency at 100k rules: indexed %.2fµs vs linear %.2fµs, want >= 10x",
+			idx.EnforceMicros, lin.EnforceMicros)
+	}
+	// Both engines must do the same externally visible work: the revoke
+	// resets exactly the footprint, never the bystanders.
+	if idx.Revalidated >= lin.Revalidated {
+		t.Errorf("incremental enforcement revalidated %d entries, full scan %d — footprint scoping lost",
+			idx.Revalidated, lin.Revalidated)
+	}
+}
+
+// TestRuleScaleDeterministic: the whole cell — synthetic chain, validate
+// storm, revoke, churn — must reproduce exactly.
+func TestRuleScaleDeterministic(t *testing.T) {
+	a := runRuleScale(1000, false, true)
+	b := runRuleScale(1000, false, true)
+	if a != b {
+		t.Fatalf("rule-scale cell not reproducible:\n%+v\n%+v", a, b)
+	}
+	if a.StormResets != ruleScaleStormRules*ruleScaleStormConns {
+		t.Fatalf("storm reset %d conns, want %d", a.StormResets, ruleScaleStormRules*ruleScaleStormConns)
+	}
+}

@@ -41,6 +41,10 @@ type SimCoreReport struct {
 	// at increasing shard counts. Digests must all match (same history);
 	// events/sec shows how the conservative windows scale on this host.
 	ShardScaling []ShardScalePoint `json:"shard_scaling"`
+	// RuleScale is the policy-engine curve: valid_conn throughput and
+	// enforcement latency at 1k → 100k rules, indexed vs linear (the
+	// abl-rule-scale cells, minus the deliberately unbounded linear storm).
+	RuleScale []RuleScalePoint `json:"rule_scale"`
 }
 
 // measure runs setup once, then op n times, and reports wall time, heap
@@ -144,6 +148,12 @@ func SimCoreBench() *SimCoreReport {
 	rep.EndToEnd.EventsPerSec = float64(cp.TB.Eng.Events()) / wall
 
 	rep.ShardScaling = ShardScaleCurve(64, []int{1, 2, 4, 8}, simtime.Time(simtime.Ms(20)))
+
+	for _, rules := range []int{1000, 10000, 100000} {
+		for _, linear := range []bool{false, true} {
+			rep.RuleScale = append(rep.RuleScale, runRuleScale(rules, linear, !(linear && rules >= 100000)))
+		}
+	}
 	return rep
 }
 

@@ -43,6 +43,31 @@ type Params struct {
 	DeleteConnCost simtime.Duration // delete_conn(): RCT table remove
 	InsertRuleCost simtime.Duration // insert_rule(): rule-chain update
 
+	// RuleEvalCost is charged per rule-evaluation work unit beyond the
+	// first during valid_conn and enforcement re-validation: chain entries
+	// scanned by the linear oracle, or index buckets probed by the
+	// decision index. The first unit is folded into ValidConnCost /
+	// EnforceScanCost, so the canonical single-allow-all policy costs
+	// exactly its Table 4 value.
+	RuleEvalCost simtime.Duration
+
+	// EnforceScanCost is the base cost of re-validating one RCT entry
+	// during rule-change enforcement (entry fetch + verdict application);
+	// the policy evaluation on top scales via RuleEvalCost.
+	EnforceScanCost simtime.Duration
+
+	// VerdictCacheCost is a valid_conn verdict-cache hit: the same
+	// connection re-validated while the tenant's rule version is
+	// unchanged skips the policy walk entirely.
+	VerdictCacheCost simtime.Duration
+
+	// LinearEnforce makes rule-change enforcement scan the whole VNI's
+	// RCT entries on every change (the legacy behaviour, kept as the
+	// reference oracle) instead of only the changed rule's CIDR
+	// footprint. Verdicts and resets are identical; only the number of
+	// entries re-validated — and hence the virtual time charged — grows.
+	LinearEnforce bool
+
 	// CacheLookupCost is a local mapping-cache hit ("completed within a
 	// few microseconds").
 	CacheLookupCost simtime.Duration
@@ -127,17 +152,20 @@ type Params struct {
 // DefaultParams returns the paper's measured costs.
 func DefaultParams() Params {
 	return Params{
-		ValidConnCost:   simtime.Us(2.5),
-		InsertConnCost:  simtime.Us(1.5),
-		DeleteConnCost:  simtime.Us(1.5),
-		InsertRuleCost:  simtime.Us(1.5),
-		CacheLookupCost: simtime.Us(2),
-		PushDown:        false,
-		QueryRetries:    4,
-		RetryBackoff:    simtime.Us(200),
-		RetryBackoffMax: simtime.Ms(10),
-		StaleDetectCost: simtime.Ms(1),
-		LeaseRenewEvery: simtime.Ms(1),
+		ValidConnCost:    simtime.Us(2.5),
+		InsertConnCost:   simtime.Us(1.5),
+		DeleteConnCost:   simtime.Us(1.5),
+		InsertRuleCost:   simtime.Us(1.5),
+		RuleEvalCost:     simtime.Us(0.3),
+		EnforceScanCost:  simtime.Us(0.5),
+		VerdictCacheCost: simtime.Us(0.5),
+		CacheLookupCost:  simtime.Us(2),
+		PushDown:         false,
+		QueryRetries:     4,
+		RetryBackoff:     simtime.Us(200),
+		RetryBackoffMax:  simtime.Ms(10),
+		StaleDetectCost:  simtime.Ms(1),
+		LeaseRenewEvery:  simtime.Ms(1),
 
 		BatchWindow:      simtime.Us(20),
 		PoolReuseCost:    simtime.Us(2),

@@ -1,6 +1,7 @@
 package masq
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,26 @@ type trackedConn struct {
 	qp *rnic.QP
 }
 
+// vipPair is the (SrcVIP, DstVIP) endpoint pair of an RCT entry — the key
+// of the per-VNI footprint index incremental enforcement scans.
+type vipPair struct {
+	src, dst packet.IP
+}
+
+// verdict is one cached policy decision, valid while the tenant's combined
+// rule version is unchanged.
+type verdict struct {
+	version uint64
+	allow   bool
+}
+
+// enforceJob is one queued rule-change enforcement: the tenant whose
+// policy changed and the change's footprint.
+type enforceJob struct {
+	t  *overlay.Tenant
+	ch overlay.RuleChange
+}
+
 // RConntrack performs connection tracking for RDMA flows (Sec. 3.3.2).
 // One instance runs per backend (per host). It enforces three properties:
 // a connection cannot be established unless a rule allows it; every data
@@ -37,32 +58,50 @@ type trackedConn struct {
 // RC semantics once establishment is gated); and when rules change,
 // connections that are no longer allowed are disconnected by moving their
 // QPs to ERROR.
+//
+// Two structures keep that sub-linear in table and rule count: a verdict
+// cache (ConnID → decision at a rule version) short-circuits repeat
+// valid_conn calls on an unchanged policy, and a per-VNI (SrcVIP, DstVIP)
+// index lets enforcement scan only the entries inside a changed rule's
+// CIDR footprint instead of the whole table.
 type RConntrack struct {
 	Stats struct {
 		Validated, Denied, Inserted, Deleted, Resets uint64
+
+		// Rule-engine observability (masqctl's stats table).
+		VerdictHits   uint64 // valid_conn answered from the verdict cache
+		VerdictMisses uint64 // valid_conn that evaluated the rule chains
+		IncrScans     uint64 // enforcements scanning only the change footprint
+		FullScans     uint64 // enforcements scanning the whole VNI (bulk/linear)
+		SkippedScans  uint64 // enforcements skipped: change cannot revoke
+		Revalidated   uint64 // RCT entries re-evaluated by enforcement
 	}
 
-	p      Params
-	dev    *rnic.Device
-	rec    *trace.Recorder
-	table  map[ConnID]*trackedConn
-	byQPN  map[uint32]map[ConnID]struct{} // QPN → table keys (O(1) delete_conn)
-	tenant map[uint32]*overlay.Tenant     // tenants this host has seen
+	p        Params
+	dev      *rnic.Device
+	rec      *trace.Recorder
+	table    map[ConnID]*trackedConn
+	byQPN    map[uint32]map[ConnID]struct{}                 // QPN → table keys (O(1) delete_conn)
+	byPair   map[uint32]map[vipPair]map[ConnID]*trackedConn // VNI → endpoints → entries
+	verdicts map[ConnID]verdict
+	tenant   map[uint32]*overlay.Tenant // tenants this host has seen
 
 	// enforceQ serializes rule-change enforcement: every policy update is
 	// queued here and drained by one process, so a later change can never
 	// race an earlier scan.
-	enforceQ *simtime.Queue[*overlay.Tenant]
+	enforceQ *simtime.Queue[enforceJob]
 }
 
 // NewRConntrack returns an empty tracker bound to the host's device.
 func NewRConntrack(p Params, dev *rnic.Device) *RConntrack {
 	return &RConntrack{
-		p:      p,
-		dev:    dev,
-		table:  make(map[ConnID]*trackedConn),
-		byQPN:  make(map[uint32]map[ConnID]struct{}),
-		tenant: make(map[uint32]*overlay.Tenant),
+		p:        p,
+		dev:      dev,
+		table:    make(map[ConnID]*trackedConn),
+		byQPN:    make(map[uint32]map[ConnID]struct{}),
+		byPair:   make(map[uint32]map[vipPair]map[ConnID]*trackedConn),
+		verdicts: make(map[ConnID]verdict),
+		tenant:   make(map[uint32]*overlay.Tenant),
 	}
 }
 
@@ -74,23 +113,57 @@ func (ct *RConntrack) Watch(t *overlay.Tenant) {
 		return
 	}
 	ct.tenant[t.VNI] = t
-	t.Subscribe(func() { ct.rulesChanged(t) })
+	t.SubscribeRules(func(ch overlay.RuleChange) { ct.rulesChanged(t, ch) })
 }
 
 // Validate is valid_conn(): called while handling modify_qp(RTR), it
 // checks the request against the tenant's security rules. Denied requests
 // never reach RConnrename, so the QPC is never configured.
+//
+// The cost charged scales with the rule-evaluation work actually done:
+// ValidConnCost covers the call plus the first rule evaluation; each
+// further unit (chain entries scanned, or index buckets probed) adds
+// RuleEvalCost. A verdict-cache hit — same connection, unchanged policy —
+// pays only VerdictCacheCost.
 func (ct *RConntrack) Validate(p *simtime.Proc, id ConnID) error {
 	sp := ct.rec.Begin(p, trace.LayerRConntrack, "valid_conn")
 	defer sp.End(p)
-	p.Sleep(ct.p.ValidConnCost)
 	ct.Stats.Validated++
 	t := ct.tenant[id.VNI]
-	if t == nil || !t.Allows(overlay.ProtoRDMA, id.SrcVIP, id.DstVIP) {
+	if t == nil {
+		p.Sleep(ct.p.ValidConnCost)
+		ct.Stats.Denied++
+		return fmt.Errorf("masq: connection %v denied by security rules", id)
+	}
+	ver := t.RuleVersion()
+	if v, ok := ct.verdicts[id]; ok && v.version == ver {
+		ct.Stats.VerdictHits++
+		p.Sleep(ct.p.VerdictCacheCost)
+		if !v.allow {
+			ct.Stats.Denied++
+			return fmt.Errorf("masq: connection %v denied by security rules", id)
+		}
+		return nil
+	}
+	ct.Stats.VerdictMisses++
+	allow, units := t.AllowsCost(overlay.ProtoRDMA, id.SrcVIP, id.DstVIP)
+	p.Sleep(ct.p.ValidConnCost + simtime.Duration(extraUnits(units))*ct.p.RuleEvalCost)
+	ct.verdicts[id] = verdict{version: ver, allow: allow}
+	if !allow {
 		ct.Stats.Denied++
 		return fmt.Errorf("masq: connection %v denied by security rules", id)
 	}
 	return nil
+}
+
+// extraUnits converts a rule-evaluation unit count into billable extra
+// units: the first unit is included in the base operation cost, so the
+// canonical single-allow-all chain costs exactly what it always has.
+func extraUnits(units int) int {
+	if units <= 1 {
+		return 0
+	}
+	return units - 1
 }
 
 // Insert is insert_conn(): record an established connection in the RCT
@@ -100,26 +173,52 @@ func (ct *RConntrack) Insert(p *simtime.Proc, id ConnID, qp *rnic.QP) {
 	defer sp.End(p)
 	p.Sleep(ct.p.InsertConnCost)
 	ct.Stats.Inserted++
-	ct.table[id] = &trackedConn{id: id, qp: qp}
+	c := &trackedConn{id: id, qp: qp}
+	ct.table[id] = c
 	set := ct.byQPN[id.QPN]
 	if set == nil {
 		set = make(map[ConnID]struct{})
 		ct.byQPN[id.QPN] = set
 	}
 	set[id] = struct{}{}
+	pairs := ct.byPair[id.VNI]
+	if pairs == nil {
+		pairs = make(map[vipPair]map[ConnID]*trackedConn)
+		ct.byPair[id.VNI] = pairs
+	}
+	pp := vipPair{id.SrcVIP, id.DstVIP}
+	entries := pairs[pp]
+	if entries == nil {
+		entries = make(map[ConnID]*trackedConn)
+		pairs[pp] = entries
+	}
+	entries[id] = c
 }
 
-// remove drops one entry from the table and the QPN index.
+// remove drops one entry from the table and every index.
 func (ct *RConntrack) remove(id ConnID) {
 	if _, ok := ct.table[id]; !ok {
 		return
 	}
 	delete(ct.table, id)
+	delete(ct.verdicts, id)
 	ct.Stats.Deleted++
 	if set := ct.byQPN[id.QPN]; set != nil {
 		delete(set, id)
 		if len(set) == 0 {
 			delete(ct.byQPN, id.QPN)
+		}
+	}
+	if pairs := ct.byPair[id.VNI]; pairs != nil {
+		pp := vipPair{id.SrcVIP, id.DstVIP}
+		if entries := pairs[pp]; entries != nil {
+			delete(entries, id)
+			if len(entries) == 0 {
+				delete(pairs, pp)
+			}
+		}
+		if len(pairs) == 0 {
+			delete(ct.byPair, id.VNI)
 		}
 	}
 }
@@ -177,42 +276,90 @@ func (ct *RConntrack) ResetConn(p *simtime.Proc, id ConnID) bool {
 // snapshots and resets could interleave; now updates are applied strictly
 // in arrival order, and each scan sees the policy as it stands when the
 // chain update lands — a later rule change can never race an earlier scan.
-func (ct *RConntrack) rulesChanged(t *overlay.Tenant) {
+func (ct *RConntrack) rulesChanged(t *overlay.Tenant, ch overlay.RuleChange) {
 	if ct.enforceQ == nil {
-		ct.enforceQ = simtime.NewQueue[*overlay.Tenant](ct.dev.Engine())
+		ct.enforceQ = simtime.NewQueue[enforceJob](ct.dev.Engine())
 		ct.dev.Engine().Spawn("rconntrack.enforce", func(p *simtime.Proc) {
 			for {
 				ct.enforce(p, ct.enforceQ.Get(p))
 			}
 		})
 	}
-	ct.enforceQ.Put(t)
+	ct.enforceQ.Put(enforceJob{t: t, ch: ch})
+}
+
+// revocable reports whether a rule change can possibly flip an
+// established (allowed) connection to denied. First-match chains are
+// monotone here: adding an Allow rule or removing a Deny rule can only
+// widen what is allowed, and a TCP-only rule never matches an RDMA
+// connection — such changes need no RCT scan at all.
+func revocable(ch overlay.RuleChange) bool {
+	if ch.Full {
+		return true
+	}
+	if ch.Rule.Proto == overlay.ProtoTCP {
+		return false
+	}
+	if ch.Added {
+		return ch.Rule.Action == overlay.Deny
+	}
+	return ch.Rule.Action == overlay.Allow
 }
 
 // enforce applies one queued rule-chain update: pay the maintenance cost,
-// then scan the RCT table against the policy's CURRENT state and reset
-// every connection it no longer allows. Scanning at enforcement time (not
-// at notification time) means a revoke that was re-allowed before its
-// update reached the chain resets nothing.
-func (ct *RConntrack) enforce(p *simtime.Proc, t *overlay.Tenant) {
+// then re-validate the RCT entries the change can affect against the
+// policy's CURRENT state and reset every connection it no longer allows.
+// Scanning at enforcement time (not at notification time) means a revoke
+// that was re-allowed before its update reached the chain resets nothing.
+//
+// The scan is incremental by default: a change that cannot revoke is
+// skipped outright, and otherwise only entries whose (SrcVIP, DstVIP)
+// fall inside the changed rule's CIDR footprint are re-validated, found
+// through the byPair index. A bulk change (no single-rule footprint) or
+// Params.LinearEnforce falls back to the legacy whole-VNI scan. Cost is
+// charged per entry actually re-validated, scaling with the policy
+// engine's work units — walking the pair index itself is free at this
+// granularity.
+func (ct *RConntrack) enforce(p *simtime.Proc, job enforceJob) {
 	p.Sleep(ct.p.InsertRuleCost) // insert_rule(): update the local chain
-	var victims []*trackedConn
-	for _, c := range ct.table {
-		if c.id.VNI != t.VNI {
-			continue
+	t, ch := job.t, job.ch
+
+	var cands []*trackedConn
+	switch {
+	case ct.p.LinearEnforce || ch.Full:
+		ct.Stats.FullScans++
+		for _, c := range ct.table {
+			if c.id.VNI == t.VNI {
+				cands = append(cands, c)
+			}
 		}
-		if !t.Allows(overlay.ProtoRDMA, c.id.SrcVIP, c.id.DstVIP) {
-			victims = append(victims, c)
+	case !revocable(ch):
+		ct.Stats.SkippedScans++
+		return
+	default:
+		ct.Stats.IncrScans++
+		for pair, entries := range ct.byPair[t.VNI] {
+			if ch.Rule.Src.Contains(pair.src) && ch.Rule.Dst.Contains(pair.dst) {
+				for _, c := range entries {
+					cands = append(cands, c)
+				}
+			}
 		}
 	}
-	// Map iteration order must not leak into the simulation: reset in a
-	// deterministic order.
-	sort.Slice(victims, func(a, b int) bool { return connLess(victims[a].id, victims[b].id) })
-	for _, c := range victims {
+	// Map iteration order must not leak into the simulation: re-validate in
+	// a deterministic order.
+	sort.Slice(cands, func(a, b int) bool { return connLess(cands[a].id, cands[b].id) })
+	for _, c := range cands {
 		// Re-check table membership: the QP may have been destroyed (and
-		// its entry deleted) while earlier resets were paying their cost,
-		// in which case the stale *rnic.QP must not be touched.
+		// its entry deleted) while earlier work was paying its cost, in
+		// which case the stale *rnic.QP must not be touched.
 		if cur, ok := ct.table[c.id]; !ok || cur != c {
+			continue
+		}
+		allow, units := t.AllowsCost(overlay.ProtoRDMA, c.id.SrcVIP, c.id.DstVIP)
+		p.Sleep(ct.p.EnforceScanCost + simtime.Duration(extraUnits(units))*ct.p.RuleEvalCost)
+		ct.Stats.Revalidated++
+		if allow {
 			continue
 		}
 		if c.qp.State() == rnic.StateError {
@@ -231,6 +378,7 @@ func (ct *RConntrack) enforce(p *simtime.Proc, t *overlay.Tenant) {
 }
 
 // connLess is a total order over ConnIDs (deterministic victim scans).
+// Addresses compare as raw bytes — no per-comparison String allocations.
 func connLess(a, b ConnID) bool {
 	if a.VNI != b.VNI {
 		return a.VNI < b.VNI
@@ -238,8 +386,8 @@ func connLess(a, b ConnID) bool {
 	if a.QPN != b.QPN {
 		return a.QPN < b.QPN
 	}
-	if a.SrcVIP != b.SrcVIP {
-		return a.SrcVIP.String() < b.SrcVIP.String()
+	if c := bytes.Compare(a.SrcVIP[:], b.SrcVIP[:]); c != 0 {
+		return c < 0
 	}
-	return a.DstVIP.String() < b.DstVIP.String()
+	return bytes.Compare(a.DstVIP[:], b.DstVIP[:]) < 0
 }

@@ -14,7 +14,11 @@ import (
 type Params struct {
 	VhostCost   simtime.Duration // VM ↔ vswitch per frame (vhost_net copy)
 	ForwardCost simtime.Duration // vswitch lookup + encap/decap per frame
-	RulePerScan simtime.Duration // per rule, on conntrack miss
+	RulePerScan simtime.Duration // per rule-evaluation work unit, on conntrack miss
+	// LinearRules evaluates tenant policies with the legacy linear chain
+	// scan (the reference oracle) instead of the decision index. Verdicts
+	// are identical; only the work-unit count per evaluation changes.
+	LinearRules bool
 }
 
 // DefaultParams returns the calibrated defaults.
@@ -36,6 +40,8 @@ type Tenant struct {
 	Name   string
 	Policy *Policy // security group (VM level)
 	FWaaS  *Policy // firewall-as-a-service (network level); nil = absent
+
+	linear bool // evaluate chains with the linear oracle (see Params.LinearRules)
 }
 
 // EnableFWaaS attaches a network-level firewall chain to the tenant and
@@ -43,20 +49,39 @@ type Tenant struct {
 func (t *Tenant) EnableFWaaS() *Policy {
 	if t.FWaaS == nil {
 		t.FWaaS = NewPolicy()
+		t.FWaaS.SetLinear(t.linear)
 	}
 	return t.FWaaS
+}
+
+// SetLinear switches every chain of the tenant (including a FWaaS chain
+// enabled later) between the decision index and the linear oracle.
+func (t *Tenant) SetLinear(on bool) {
+	t.linear = on
+	t.Policy.SetLinear(on)
+	if t.FWaaS != nil {
+		t.FWaaS.SetLinear(on)
+	}
 }
 
 // Allows evaluates the full two-level stack: the security group must
 // allow the flow, and so must the firewall when one is configured.
 func (t *Tenant) Allows(proto Proto, src, dst packet.IP) bool {
-	if !t.Policy.Allows(proto, src, dst) {
-		return false
+	ok, _ := t.AllowsCost(proto, src, dst)
+	return ok
+}
+
+// AllowsCost is Allows plus the total rule-evaluation work units across
+// both chains (the DES cost model's input). A security-group deny
+// short-circuits the firewall chain, exactly like the linear evaluator
+// always has.
+func (t *Tenant) AllowsCost(proto Proto, src, dst packet.IP) (bool, int) {
+	ok, units := t.Policy.AllowsCost(proto, src, dst)
+	if !ok || t.FWaaS == nil {
+		return ok, units
 	}
-	if t.FWaaS != nil && !t.FWaaS.Allows(proto, src, dst) {
-		return false
-	}
-	return true
+	ok2, units2 := t.FWaaS.AllowsCost(proto, src, dst)
+	return ok2, units + units2
 }
 
 // RuleVersion combines both chains' versions (conntrack invalidation).
@@ -84,6 +109,16 @@ func (t *Tenant) Subscribe(fn func()) {
 	t.Policy.Subscribe(fn)
 	if t.FWaaS != nil {
 		t.FWaaS.Subscribe(fn)
+	}
+}
+
+// SubscribeRules registers fn on both chains with per-change footprints
+// (the incremental-enforcement feed). Same FWaaS ordering caveat as
+// Subscribe: enable the firewall before subscribing.
+func (t *Tenant) SubscribeRules(fn func(RuleChange)) {
+	t.Policy.SubscribeRules(fn)
+	if t.FWaaS != nil {
+		t.FWaaS.SubscribeRules(fn)
 	}
 }
 
@@ -129,6 +164,9 @@ func NewFabric(eng *simtime.Engine, p Params) *Fabric {
 // AddTenant creates a VPC with an empty (default-deny) policy.
 func (f *Fabric) AddTenant(vni uint32, name string) *Tenant {
 	t := &Tenant{VNI: vni, Name: name, Policy: NewPolicy()}
+	if f.P.LinearRules {
+		t.SetLinear(true)
+	}
 	f.tenants[vni] = t
 	return t
 }
@@ -320,8 +358,9 @@ func (sw *VSwitch) allowed(p *simtime.Proc, vni uint32, src, dst packet.IP) bool
 	if v, ok := sw.conns[key]; ok && v == t.RuleVersion() {
 		return true
 	}
-	p.Sleep(simtime.Duration(t.RuleCount()) * sw.fab.P.RulePerScan)
-	if !t.Allows(ProtoTCP, src, dst) {
+	ok, units := t.AllowsCost(ProtoTCP, src, dst)
+	p.Sleep(simtime.Duration(units) * sw.fab.P.RulePerScan)
+	if !ok {
 		delete(sw.conns, key)
 		return false
 	}

@@ -62,16 +62,32 @@ func (r Rule) Matches(proto Proto, src, dst packet.IP) bool {
 	return r.Src.Contains(src) && r.Dst.Contains(dst)
 }
 
-// Policy is a tenant's ordered rule chain plus an update-notification list.
+// RuleChange describes one policy mutation to subscribers. When Full is
+// set the change has no single-rule footprint (bulk load) and consumers
+// must re-evaluate everything they derived from the policy.
+type RuleChange struct {
+	Rule  Rule
+	Added bool
+	Full  bool
+}
+
+// Policy is a tenant's ordered rule chain plus an update-notification
+// list. The chain is shadowed by a decision index (see ruleIndex) that
+// answers Allows in O(prefix-length pairs) probes instead of O(rules);
+// the linear scan is kept as the reference oracle, selectable with
+// SetLinear, and AllowsLinear always evaluates it for equivalence tests.
 type Policy struct {
-	rules   []Rule
+	rules   []Rule // chain order: priority desc, ID asc
+	byID    map[int]Rule
+	idx     ruleIndex
+	linear  bool
 	nextID  int
 	version uint64
-	subs    []func()
+	subs    []func(RuleChange)
 }
 
 // NewPolicy returns an empty (default-deny) policy.
-func NewPolicy() *Policy { return &Policy{nextID: 1} }
+func NewPolicy() *Policy { return &Policy{nextID: 1, byID: make(map[int]Rule)} }
 
 // Version increases on every rule change.
 func (pl *Policy) Version() uint64 { return pl.version }
@@ -79,50 +95,139 @@ func (pl *Policy) Version() uint64 { return pl.version }
 // Rules returns a copy of the chain in evaluation order.
 func (pl *Policy) Rules() []Rule { return append([]Rule(nil), pl.rules...) }
 
-// AddRule inserts a rule and returns its ID. Subscribers are notified.
+// SetLinear selects the legacy linear chain scan (the reference oracle)
+// instead of the decision index for Allows/AllowsCost. The index is
+// maintained either way, so flipping modes needs no rebuild.
+func (pl *Policy) SetLinear(on bool) { pl.linear = on }
+
+// Linear reports whether the policy evaluates via the legacy linear scan.
+func (pl *Policy) Linear() bool { return pl.linear }
+
+// chainPos returns r's position in the chain. r must be present.
+func (pl *Policy) chainPos(r Rule) int {
+	return sort.Search(len(pl.rules), func(i int) bool { return !chainBefore(pl.rules[i], r) })
+}
+
+// AddRule inserts a rule and returns its ID. The rule is spliced directly
+// into its priority position (rules of equal priority keep insertion
+// order, matching the historical stable sort) — no chain re-sort — and the
+// decision index is updated incrementally. Subscribers are notified.
 func (pl *Policy) AddRule(r Rule) int {
 	r.ID = pl.nextID
 	pl.nextID++
-	pl.rules = append(pl.rules, r)
-	sort.SliceStable(pl.rules, func(i, j int) bool {
-		return pl.rules[i].Priority > pl.rules[j].Priority
-	})
-	pl.bump()
+	// First slot whose priority is strictly lower: equal-priority rules all
+	// have smaller IDs, so this is exactly the (priority desc, ID asc) slot.
+	i := sort.Search(len(pl.rules), func(i int) bool { return pl.rules[i].Priority < r.Priority })
+	pl.rules = append(pl.rules, Rule{})
+	copy(pl.rules[i+1:], pl.rules[i:])
+	pl.rules[i] = r
+	pl.byID[r.ID] = r
+	pl.idx.add(r)
+	pl.bump(RuleChange{Rule: r, Added: true})
 	return r.ID
 }
 
-// RemoveRule deletes a rule by ID; it reports whether it existed.
-func (pl *Policy) RemoveRule(id int) bool {
-	for i, r := range pl.rules {
-		if r.ID == id {
-			pl.rules = append(pl.rules[:i], pl.rules[i+1:]...)
-			pl.bump()
-			return true
-		}
+// AddRules bulk-loads a batch of rules and returns their IDs. It sorts the
+// chain once and notifies subscribers once with a Full change, so loading
+// 100k rules is O(n log n) instead of the O(n²) of repeated single inserts.
+func (pl *Policy) AddRules(rules []Rule) []int {
+	if len(rules) == 0 {
+		return nil
 	}
-	return false
+	ids := make([]int, len(rules))
+	for i, r := range rules {
+		r.ID = pl.nextID
+		pl.nextID++
+		ids[i] = r.ID
+		pl.rules = append(pl.rules, r)
+		pl.byID[r.ID] = r
+		pl.idx.add(r)
+	}
+	// IDs ascend in insertion order, so a stable sort by priority restores
+	// the (priority desc, ID asc) chain invariant.
+	sort.SliceStable(pl.rules, func(i, j int) bool {
+		return pl.rules[i].Priority > pl.rules[j].Priority
+	})
+	pl.bump(RuleChange{Full: true})
+	return ids
 }
 
-func (pl *Policy) bump() {
+// RemoveRule deletes a rule by ID; it reports whether it existed. The ID
+// index locates the rule and a binary search finds its chain slot, so
+// deletion does no O(rules) ID scan.
+func (pl *Policy) RemoveRule(id int) bool {
+	r, ok := pl.byID[id]
+	if !ok {
+		return false
+	}
+	i := pl.chainPos(r)
+	pl.rules = append(pl.rules[:i], pl.rules[i+1:]...)
+	delete(pl.byID, id)
+	pl.idx.remove(r)
+	pl.bump(RuleChange{Rule: r, Added: false})
+	return true
+}
+
+func (pl *Policy) bump(ch RuleChange) {
 	pl.version++
 	for _, fn := range pl.subs {
-		fn()
+		fn(ch)
 	}
 }
 
-// Subscribe registers fn to run after every rule change (RConntrack's
-// trigger for re-validating established connections).
-func (pl *Policy) Subscribe(fn func()) { pl.subs = append(pl.subs, fn) }
+// Subscribe registers fn to run after every rule change.
+func (pl *Policy) Subscribe(fn func()) {
+	pl.SubscribeRules(func(RuleChange) { fn() })
+}
 
-// Allows evaluates the chain for a flow. Default deny.
+// SubscribeRules registers fn to run after every rule change with the
+// change's footprint (RConntrack's trigger for incremental re-validation
+// of established connections).
+func (pl *Policy) SubscribeRules(fn func(RuleChange)) { pl.subs = append(pl.subs, fn) }
+
+// Allows evaluates the policy for a flow. Default deny.
 func (pl *Policy) Allows(proto Proto, src, dst packet.IP) bool {
-	for _, r := range pl.rules {
+	ok, _ := pl.AllowsCost(proto, src, dst)
+	return ok
+}
+
+// AllowsCost evaluates the policy and additionally returns the work done,
+// in rule-evaluation units, for the DES cost model: rules scanned until
+// first match for the linear oracle, index bucket probes for the indexed
+// engine. The two modes agree on the verdict always and on the unit count
+// for the canonical single-allow-all chain (one unit each), which keeps
+// default-mode traces byte-identical across engines.
+func (pl *Policy) AllowsCost(proto Proto, src, dst packet.IP) (bool, int) {
+	if pl.linear {
+		return pl.allowsLinearCost(proto, src, dst)
+	}
+	r, found, probes := pl.idx.lookup(proto, src, dst)
+	return found && r.Action == Allow, probes
+}
+
+// AllowsLinear evaluates the legacy linear chain scan regardless of the
+// configured mode — the reference oracle for equivalence tests.
+func (pl *Policy) AllowsLinear(proto Proto, src, dst packet.IP) bool {
+	ok, _ := pl.allowsLinearCost(proto, src, dst)
+	return ok
+}
+
+func (pl *Policy) allowsLinearCost(proto Proto, src, dst packet.IP) (bool, int) {
+	for i, r := range pl.rules {
 		if r.Matches(proto, src, dst) {
-			return r.Action == Allow
+			return r.Action == Allow, i + 1
 		}
 	}
-	return false
+	return false, len(pl.rules)
 }
 
 // RuleCount returns the chain length (cost model input).
 func (pl *Policy) RuleCount() int { return len(pl.rules) }
+
+// IndexInfo reports the decision index's shape and maintenance counters.
+func (pl *Policy) IndexInfo() IndexInfo { return pl.idx.info() }
+
+// RebuildIndex reconstructs the decision index from the chain. The index
+// is maintained incrementally, so this is a safety valve (and the test
+// hook proving incremental maintenance converges to a fresh build).
+func (pl *Policy) RebuildIndex() { pl.idx.rebuild(pl.rules) }

@@ -123,6 +123,19 @@ func ParseCIDR(s string) (CIDR, bool) {
 	return CIDR{IP: ip, Bits: bits}, true
 }
 
+// MaskIP zeroes the host bits of ip, keeping the first bits prefix bits.
+// bits <= 0 yields 0.0.0.0; bits >= 32 returns ip unchanged.
+func MaskIP(ip IP, bits int) IP {
+	if bits <= 0 {
+		return IP{}
+	}
+	if bits >= 32 {
+		return ip
+	}
+	v := ipU32(ip) & (^uint32(0) << (32 - uint(bits)))
+	return IP{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
 func ipU32(ip IP) uint32 {
 	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
 }
