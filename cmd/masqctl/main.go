@@ -20,6 +20,7 @@ func main() {
 	kill := flag.Bool("kill", true, "revoke a rule at the end to show RConntrack enforcement")
 	doChaos := flag.Bool("chaos", true, "inject a link outage and a VM crash at the end and dump fault counters")
 	ctrlCrash := flag.Bool("ctrlcrash", true, "crash and restart the controller at the end; show grace-mode renames, the epoch bump, and lease-driven reconvergence")
+	doMigrate := flag.Bool("migrate", true, "live-migrate a VM to a spare host under a live RDMA stream; print the blackout breakdown and per-phase counters")
 	nrules := flag.Int("rules", 0, "bulk-load N synthetic rules into acme's chain first (e.g. 100000): the decision index keeps valid_conn and enforcement flat at any N")
 	flag.Parse()
 
@@ -35,6 +36,9 @@ func main() {
 		// entries seeded when the scenario started.
 		cfg.Masq.PushDown = true
 		cfg.Masq.GraceTTL = masq.Ms(500)
+	}
+	if *doMigrate {
+		cfg.Hosts = 3 // spare destination host for the live-migration demo
 	}
 	tb := masq.NewTestbed(cfg)
 	acme := tb.AddTenant(100, "acme")
@@ -357,6 +361,101 @@ func main() {
 				be.Stats.GraceRevalidated, be.Stats.GraceResets,
 				be.Stats.LeaseRenewals, be.Stats.LeaseRenewFailures)
 		}
+	}
+	if *doMigrate {
+		fmt.Println("\n=== transparent live migration: a2 -> host2 under a live stream ===")
+		tb.AllowAll(100) // earlier sections may have revoked acme's rule
+		var mc, ms *cluster.Endpoint
+		tb.Eng.Spawn("mig-setup", func(p *simtime.Proc) {
+			var err error
+			if mc, err = a1.Setup(p, cluster.DefaultEndpointOpts()); err != nil {
+				panic(err)
+			}
+			if ms, err = a2.Setup(p, cluster.DefaultEndpointOpts()); err != nil {
+				panic(err)
+			}
+			se, ce := cluster.Pair(tb.Eng, ms, mc, 7003)
+			if err := se.Wait(p); err != nil {
+				panic(err)
+			}
+			if err := ce.Wait(p); err != nil {
+				panic(err)
+			}
+		})
+		tb.Eng.Run()
+
+		// a1 streams 24 distinct 1 KiB messages into a2 while a2's VM moves
+		// host1 -> host2 mid-stream. Both sides count completions: the move
+		// must lose and duplicate nothing.
+		const total, msgLen = 24, 1024
+		sentOK, recvOK := 0, 0
+		tb.Eng.Spawn("mig-server", func(p *simtime.Proc) {
+			for i := 0; i < total; i++ {
+				if err := ms.QP.PostRecv(p, masq.RecvWR{
+					WRID: uint64(i), Addr: ms.Buf + uint64(i*msgLen), LKey: ms.MR.LKey(), Len: msgLen,
+				}); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < total; i++ {
+				wc, ok := ms.RCQ.WaitTimeout(p, masq.Ms(100))
+				if !ok {
+					return
+				}
+				if wc.Status == masq.WCSuccess {
+					recvOK++
+				}
+			}
+		})
+		tb.Eng.Spawn("mig-client", func(p *simtime.Proc) {
+			p.Sleep(masq.Us(50)) // let the receives land first
+			for i := 0; i < total; i++ {
+				if err := mc.QP.PostSend(p, masq.SendWR{
+					WRID: uint64(i), Op: masq.WRSend,
+					LocalAddr: mc.Buf + uint64(i*msgLen), LKey: mc.MR.LKey(), Len: msgLen,
+				}); err != nil {
+					return
+				}
+				p.Sleep(masq.Us(250))
+			}
+			for i := 0; i < total; i++ {
+				wc, ok := mc.SCQ.WaitTimeout(p, masq.Ms(100))
+				if !ok {
+					return
+				}
+				if wc.Status == masq.WCSuccess {
+					sentOK++
+				}
+			}
+		})
+		var mrep *masq.MigrateReport
+		var merr error
+		tb.Eng.Spawn("migrator", func(p *simtime.Proc) {
+			p.Sleep(masq.Ms(1)) // land in the middle of the stream
+			mrep, merr = tb.LiveMigrateNode(p, a2, 2, masq.MigrateOpts{
+				DirtyRate:         0.5e9, // guest dirties at half the copy rate
+				CopyBandwidth:     1e9,
+				StopCopyThreshold: 8 << 10,
+			})
+		})
+		tb.Eng.Run()
+		if merr != nil {
+			panic(merr)
+		}
+		fmt.Printf("pre-copy: %d rounds, %d KB shipped in %v (VM live); final dirty set %d KB\n",
+			mrep.PreCopyRounds, mrep.PreCopyBytes/1024, mrep.PreCopyTime, mrep.StopCopyBytes/1024)
+		fmt.Printf("blackout %v = freeze %v + stop-copy %v + restore %v + commit %v\n",
+			mrep.Blackout, mrep.FreezeTime, mrep.StopCopyTime, mrep.RestoreTime, mrep.CommitTime)
+		fmt.Printf("carried across: %d QPs, %d MRs, %d tracked connections\n", mrep.QPs, mrep.MRs, mrep.Conns)
+		fmt.Printf("stream across the move: %d/%d sends completed, %d/%d receives completed — zero lost, zero duplicated\n",
+			sentOK, total, recvOK, total)
+		srcBE, dstBE, peerBE := tb.Backend(1), tb.Backend(2), tb.Backend(0)
+		fmt.Printf("src host1: %d migration out, %d QP-pool flushes; dst host2: %d migration in\n",
+			srcBE.Stats.MigrOut, srcBE.Stats.PoolFlushes, dstBE.Stats.MigrIn)
+		fmt.Printf("peer host0: %d QPs suspended, %d renamed in place, %d resumed with PSN replay\n",
+			peerBE.Stats.MigrSuspendedQPs, peerBE.Stats.MigrRenames, peerBE.Stats.MigrResumes)
+		fmt.Printf("controller: %d suspend pushes, %d move commits; a2 now served by host%d\n",
+			tb.Ctrl.Stats.Suspends, tb.Ctrl.Stats.Moves, 2)
 	}
 }
 

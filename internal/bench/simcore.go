@@ -45,6 +45,10 @@ type SimCoreReport struct {
 	// enforcement latency at 1k → 100k rules, indexed vs linear (the
 	// abl-rule-scale cells, minus the deliberately unbounded linear storm).
 	RuleScale []RuleScalePoint `json:"rule_scale"`
+	// Migration is the live-migration blackout surface: a subset of the
+	// abl-migrate sweep (blackout vs guest dirty rate and live-connection
+	// count) so blackout regressions show up across PRs.
+	Migration []MigrationPoint `json:"migration"`
 }
 
 // measure runs setup once, then op n times, and reports wall time, heap
@@ -152,6 +156,12 @@ func SimCoreBench() *SimCoreReport {
 	for _, rules := range []int{1000, 10000, 100000} {
 		for _, linear := range []bool{false, true} {
 			rep.RuleScale = append(rep.RuleScale, runRuleScale(rules, linear, !(linear && rules >= 100000)))
+		}
+	}
+
+	for _, dirty := range []float64{0, 0.5, 0.9} {
+		for _, conns := range []int{1, 16} {
+			rep.Migration = append(rep.Migration, runLiveMigrate(dirty, conns))
 		}
 	}
 	return rep

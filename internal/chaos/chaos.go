@@ -53,6 +53,10 @@ const (
 	// CtrlRestart restarts a crashed controller at At (empty table, new
 	// epoch).
 	CtrlRestart
+	// NodeMigrate live-migrates a node's VM to host Dst at At. Like
+	// NodeCrash, the injector only knows indices; the cluster layer
+	// supplies the OnMigrate callback that runs the migration engine.
+	NodeMigrate
 )
 
 func (k Kind) String() string {
@@ -75,6 +79,8 @@ func (k Kind) String() string {
 		return "ctrl-crash"
 	case CtrlRestart:
 		return "ctrl-restart"
+	case NodeMigrate:
+		return "node-migrate"
 	}
 	return "unknown"
 }
@@ -87,7 +93,8 @@ type Event struct {
 
 	Link   *simnet.Link   // LinkDown/LinkUp/LinkFlap/LinkLoss
 	Switch *simnet.Switch // SwitchDown/SwitchUp
-	Node   int            // NodeCrash
+	Node   int            // NodeCrash/NodeMigrate
+	Dst    int            // NodeMigrate: destination host index
 
 	Prob  float64 // LinkLoss: per-decision drop probability
 	Burst int     // LinkLoss: consecutive frames lost per decision (min 1)
@@ -136,6 +143,12 @@ func Crash(node int, t simtime.Time) Event {
 	return Event{Kind: NodeCrash, At: t, Node: node}
 }
 
+// Migrate returns a live-migration fault at t: the node with the given
+// index moves to host dst.
+func Migrate(node, dst int, t simtime.Time) Event {
+	return Event{Kind: NodeMigrate, At: t, Node: node, Dst: dst}
+}
+
 // CtrlOutage returns a controller crash at from with a restart at to: the
 // control plane is dark for [from, to), comes back empty, and the edge
 // reconverges it. A zero to crashes without recovery.
@@ -149,6 +162,7 @@ type Stats struct {
 	LossWindows       uint64 // loss models installed
 	SwitchTransitions uint64 // down/up edges applied to switches
 	Crashes           uint64 // node crashes fired
+	Migrations        uint64 // node live migrations fired
 	CtrlCrashes       uint64 // controller crashes fired
 	CtrlRestarts      uint64 // controller restarts fired
 }
@@ -161,6 +175,10 @@ type Injector struct {
 	// event's virtual time) for every NodeCrash event. The cluster layer
 	// wires it to Testbed.CrashNode.
 	OnCrash func(node int)
+
+	// OnMigrate, when set, is invoked for every NodeMigrate event. The
+	// cluster layer wires it to Testbed.LiveMigrateNode.
+	OnMigrate func(node, dst int)
 
 	// OnCtrlCrash/OnCtrlRestart, when set, are invoked for CtrlCrash and
 	// CtrlRestart events (and a CtrlCrash event's Until edge). The cluster
@@ -211,6 +229,8 @@ func (in *Injector) Arm(pl Plan) {
 			in.at(ev.At, func() { in.setSwitch(ev.Switch, false) })
 		case NodeCrash:
 			in.at(ev.At, func() { in.crash(ev.Node) })
+		case NodeMigrate:
+			in.at(ev.At, func() { in.migrate(ev.Node, ev.Dst) })
 		case CtrlCrash:
 			in.at(ev.At, in.ctrlCrash)
 			if ev.Until > ev.At {
@@ -296,6 +316,14 @@ func (in *Injector) crash(node int) {
 	in.record("crash node %d", node)
 	if in.OnCrash != nil {
 		in.OnCrash(node)
+	}
+}
+
+func (in *Injector) migrate(node, dst int) {
+	in.Stats.Migrations++
+	in.record("migrate node %d -> host %d", node, dst)
+	if in.OnMigrate != nil {
+		in.OnMigrate(node, dst)
 	}
 }
 

@@ -190,9 +190,14 @@ func New(cfg Config) *Testbed {
 	for i := 0; i < cfg.Hosts; i++ {
 		ip := packet.NewIP(172, 16, byte(i>>8), byte(i+1))
 		mac := packet.MAC{0x02, 0x10, 0, 0, byte(i >> 8), byte(i)}
+		// Disjoint MR-key ranges per host: a live-migrated MR keeps its
+		// lkey/rkey at the destination (peers hold rkeys in application
+		// state), which must never collide with a key minted there.
+		rn := cfg.RNIC
+		rn.KeyBase = uint32(i) << 20
 		h := hyper.NewHost(tb.HostEngine(i), hyper.HostConfig{
 			Name: fmt.Sprintf("host%d", i), IP: ip, MAC: mac,
-			MemBytes: cfg.HostMem, RNIC: cfg.RNIC, Hyper: cfg.Hyper,
+			MemBytes: cfg.HostMem, RNIC: rn, Hyper: cfg.Hyper,
 			Fabric: tb.Fab, ResolveHost: resolveHost,
 		})
 		tb.neighbors[ip] = mac
@@ -225,6 +230,15 @@ func New(cfg Config) *Testbed {
 		if node >= 0 && node < len(tb.nodes) {
 			_ = tb.CrashNode(tb.nodes[node])
 		}
+	}
+	tb.Chaos.OnMigrate = func(node, dst int) {
+		if node < 0 || node >= len(tb.nodes) || dst < 0 || dst >= len(tb.Hosts) {
+			return
+		}
+		n := tb.nodes[node]
+		tb.Eng.Spawn("chaos-migrate:"+n.Name, func(p *simtime.Proc) {
+			_, _ = tb.LiveMigrateNode(p, n, dst, MigrateOpts{})
+		})
 	}
 	tb.Chaos.OnCtrlCrash = func() { tb.Ctrl.Crash() }
 	tb.Chaos.OnCtrlRestart = func() { tb.Ctrl.Restart() }
@@ -553,13 +567,26 @@ func (tb *Testbed) MigrateNode(n *Node, dstHost int) error {
 	}
 	dst := tb.Hosts[dstHost]
 	if n.Host == dst {
+		// Same-host "migration" is a no-op: nothing to copy, nothing to
+		// re-register — the existing frontend and vBond stay authoritative.
 		return nil
+	}
+	srcIdx := hostIndex(tb, n.Host)
+	// The memory move runs first: a refused migration (pinned, DMA-visible
+	// guest memory) must leave the source completely untouched — vBond
+	// registered, counters unchanged, controller state intact.
+	if err := n.VM.MigrateTo(dst); err != nil {
+		return err
 	}
 	if old, ok := n.Provider.(*masq.Frontend); ok {
 		old.VBond().Stop()
-	}
-	if err := n.VM.MigrateTo(dst); err != nil {
-		return err
+		// Source-host fast-path state staged for the departed VM —
+		// warm-pool QPs, shared-connection carrier entries — dies with it,
+		// and the stopped bond leaves the lease set so renewal follows the
+		// successor bond created below.
+		if srcB := tb.Backends[srcIdx]; srcB != nil {
+			srcB.RetireFrontend(old)
+		}
 	}
 	if err := tb.Fab.MoveEndpoint(n.VM.VNIC, dst.VSwitch); err != nil {
 		return err

@@ -161,6 +161,10 @@ type Stats struct {
 	BatchQueries  uint64 // successful BatchLookup RPCs
 	BatchedKeys   uint64 // keys resolved through BatchLookup
 	BatchRenewals uint64 // renewals piggybacked on BatchLookup
+
+	// Migration accounting.
+	Suspends uint64 // Suspend RPCs (migration freeze announcements)
+	Moves    uint64 // Move RPCs (migration commits and rollback resumes)
 }
 
 // Notify is one push notification as a subscriber sees it: the table
@@ -175,6 +179,19 @@ type Notify struct {
 	Removed bool
 	Epoch   uint64
 	Seq     uint64
+
+	// Suspend marks a migration freeze announcement: the endpoint behind
+	// Key is about to black out, so subscribers quiesce their requester
+	// side toward it (no TX, no retransmission timer) instead of burning
+	// through the transport retry budget.
+	Suspend bool
+	// Moved marks a migration commit — Mapping is the endpoint's new
+	// physical identity and QPNMap translates its old QP numbers to the
+	// ones minted on the destination device, so peers rewrite address
+	// vectors in place and replay their in-flight PSN windows. A rollback
+	// resume is a Moved push carrying the *original* mapping and no QPNMap.
+	Moved  bool
+	QPNMap map[uint32]uint32
 }
 
 // Subscription is one backend's delivery channel: a FIFO queue drained by
@@ -491,6 +508,42 @@ func (c *Controller) Renew(p *simtime.Proc, k Key, m Mapping) (uint64, error) {
 		c.notify(Notify{Key: k, Mapping: m})
 	}
 	return c.epoch, nil
+}
+
+// Suspend is the migration freeze announcement RPC: it pushes a Suspend
+// notification for k to every subscriber so peers quiesce their QPs toward
+// the endpoint before its blackout starts. The table is untouched — the
+// mapping keeps resolving (grace for late setups) until Move replaces it.
+// A failure means the freeze was never announced; the migration must abort
+// before touching anything.
+func (c *Controller) Suspend(p *simtime.Proc, k Key) error {
+	sp := c.rec.Begin(p, trace.LayerController, "suspend")
+	defer sp.End(p)
+	if err := c.rpc(p); err != nil {
+		return err
+	}
+	c.Stats.Suspends++
+	c.notify(Notify{Key: k, Suspend: true})
+	return nil
+}
+
+// Move is the migration commit RPC: in one atomic step the table's mapping
+// for k is replaced by m (fresh lease, current epoch) and a Moved push
+// carrying the old→new QPN translation fans out, so peers rename their
+// caches and address vectors in place and resume. A rollback re-commits
+// the original mapping with a nil qpnMap — peers resume toward the source
+// with nothing rewritten.
+func (c *Controller) Move(p *simtime.Proc, k Key, m Mapping, qpnMap map[uint32]uint32) error {
+	sp := c.rec.Begin(p, trace.LayerController, "move")
+	defer sp.End(p)
+	if err := c.rpc(p); err != nil {
+		return err
+	}
+	c.Stats.Moves++
+	c.Stats.Updates++
+	c.table[k] = entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(p.Now())}
+	c.notify(Notify{Key: k, Mapping: m, Moved: true, QPNMap: qpnMap})
+	return nil
 }
 
 // RenewReq is one piggybacked lease renewal inside a BatchLookup request:

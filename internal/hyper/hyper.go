@@ -198,6 +198,43 @@ func (vm *VM) MigrateTo(dst *Host) error {
 	return nil
 }
 
+// LiveMigrateTo re-homes the VM onto dst *in place*: capacity is reserved
+// on the destination, the guest-physical space is rehomed into dst's
+// userspace (mem.AddrSpace.Rehome — same GPA/GVA objects, same virtual
+// addresses, fresh backing), and the source reservation is released. The
+// GPA must be unpinned (the migration engine deregisters MRs around the
+// stop-copy); pins held at the GVA level survive untouched, which is what
+// lets applications keep their buffers across a transparent migration.
+// On error nothing has moved. The caller re-homes the vNIC, re-plugs the
+// paravirtual device, and re-registers MRs on the destination.
+func (vm *VM) LiveMigrateTo(dst *Host) error {
+	if vm.Host == dst {
+		return nil
+	}
+	if vm.GPA.Pinned() {
+		return fmt.Errorf("hyper: %s has pinned (DMA-visible) guest memory; unpin MRs before the stop-copy", vm.Name)
+	}
+	if err := dst.Phys.Reserve(vm.Mem + dst.P.VMMemOverhead); err != nil {
+		return fmt.Errorf("hyper: migrate %s: %w", vm.Name, err)
+	}
+	if err := vm.GPA.Rehome(dst.HVA); err != nil {
+		dst.Phys.Release(vm.Mem + dst.P.VMMemOverhead)
+		return err
+	}
+	src := vm.Host
+	src.Phys.Release(vm.Mem + src.P.VMMemOverhead)
+	for i, v := range src.vms {
+		if v == vm {
+			src.vms = append(src.vms[:i], src.vms[i+1:]...)
+			break
+		}
+	}
+	vm.Host = dst
+	vm.factor = dst.P.VMComputeFactor
+	dst.vms = append(dst.vms, vm)
+	return nil
+}
+
 // Shutdown releases the VM's memory reservation.
 func (vm *VM) Shutdown() {
 	vm.Host.Phys.Release(vm.Mem + vm.Host.P.VMMemOverhead)

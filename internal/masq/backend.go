@@ -68,6 +68,11 @@ type Backend struct {
 	shared      map[sharedKey]*sharedConn // shared host connections by (VNI, peer host)
 	sharedFlows map[uint32]sharedFlow     // QPN → its shared-connection membership
 
+	// migrSusp tracks the peer QPs this backend quiesced per migration
+	// Suspend push, so the matching Moved (or rollback-resume) push — or
+	// the suspend TTL — wakes exactly those (see migrate.go).
+	migrSusp map[controller.Key]*suspendSet
+
 	Stats struct {
 		CacheHits, CacheMisses uint64
 		Renames                uint64
@@ -106,6 +111,17 @@ type Backend struct {
 		SharedCarriers uint64 // host connections established (first flow to a peer)
 		SharedAttaches uint64 // flows attached to an existing host connection
 		SharedFlushes  uint64 // shared-connection table clears (epoch bump)
+
+		// Live-migration accounting (see migrate.go).
+		MigrOut            uint64 // sessions frozen and captured off this backend
+		MigrIn             uint64 // sessions restored onto this backend
+		MigrRollbacks      uint64 // captures re-adopted at the source after a failed commit
+		MigrSuspends       uint64 // Suspend pushes that quiesced at least one peer QP
+		MigrSuspendedQPs   uint64 // peer QPs quiesced by Suspend pushes
+		MigrRenames        uint64 // peer connections renamed in place by Moved pushes
+		MigrResumes        uint64 // peer QPs resumed by Moved pushes
+		MigrSuspendExpiry  uint64 // suspend TTLs fired (commit and rollback push both lost)
+		MigrValidateResets uint64 // migrated connections denied by the destination's policy
 	}
 }
 
@@ -149,6 +165,7 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 		pooledInit:  make(map[uint32]bool),
 		shared:      make(map[sharedKey]*sharedConn),
 		sharedFlows: make(map[uint32]sharedFlow),
+		migrSusp:    make(map[controller.Key]*suspendSet),
 	}
 	// The failure-reaction chain, backend half: when the RNIC moves an
 	// owned QP to ERROR on its own (retry exhaustion — typically a dead or
@@ -207,6 +224,20 @@ func (b *Backend) onNotify(n controller.Notify) {
 		return
 	}
 	k := n.Key
+	if n.Suspend {
+		// A peer endpoint is freezing for live migration: quiesce every
+		// established connection toward it so the transport does not burn
+		// its retry budget into the blackout (see migrate.go).
+		b.migrSuspend(k)
+		return
+	}
+	if n.Moved {
+		// The migration committed (mapping + QPN translations) or rolled
+		// back (original mapping, no translations): rename the quiesced
+		// connections in place and wake them (see migrate.go).
+		b.migrMoved(n)
+		return
+	}
 	if n.Removed {
 		if _, ok := b.cache[k]; ok {
 			b.Stats.Invalidations++
@@ -762,6 +793,15 @@ type session struct {
 	vbond *VBond
 	fn    *rnic.Func
 
+	// owner is the backend currently hosting the session; it changes when
+	// the VM live-migrates. Async-event subscriptions on every host the
+	// session ever lived on check it so only the current host delivers.
+	owner *Backend
+	// subs records which backends have hooked this session's async-event
+	// delivery, so re-migration onto a previous host does not subscribe a
+	// duplicate (which would double-deliver events).
+	subs map[*Backend]bool
+
 	// events is the guest-visible async event channel (ibv_get_async_event
 	// via the frontend); the backend injects events after the interrupt
 	// latency.
@@ -815,14 +855,26 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 
 	vbond := NewVBond(vni, vm.VNIC, b.Ctrl, b.physIdentity())
 	b.bonds = append(b.bonds, vbond)
-	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn,
+	sess := &session{vm: vm, vni: vni, vbond: vbond, fn: fn, owner: b,
+		subs:   make(map[*Backend]bool),
 		events: simtime.NewQueue[rnic.AsyncEvent](b.Host.Eng)}
-	// Async events reach the guest like any other device interrupt: QP
-	// fatals are steered to the owning session only, port state changes
-	// fan out to every guest on the device, and each delivery pays the
-	// injection latency.
+	b.subscribeSession(sess)
+	ring := b.serveRing(vm.Name)
+	return &Frontend{b: b, sess: sess, ring: ring}, nil
+}
+
+// subscribeSession hooks a session's guest-visible async-event delivery to
+// this backend's device (once per backend, surviving re-migration). QP
+// fatals are steered to the owning session only, port state changes fan out
+// to every guest on the device, each delivery pays the injection latency —
+// and nothing is delivered from hosts the session has migrated away from.
+func (b *Backend) subscribeSession(sess *session) {
+	if sess.subs[b] {
+		return
+	}
+	sess.subs[b] = true
 	b.Host.Dev.SubscribeAsync(func(ev rnic.AsyncEvent) {
-		if sess.dead {
+		if sess.dead || sess.owner != b {
 			return
 		}
 		if ev.Type == rnic.EventQPFatal && b.qpOwner[ev.QPN] != sess {
@@ -830,12 +882,17 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 		}
 		b.Host.Eng.After(b.VIO.IRQCost, func() { sess.events.Put(ev) })
 	})
+}
+
+// serveRing builds the frontend↔backend virtio ring and starts its service
+// loop on this backend.
+func (b *Backend) serveRing(vmName string) *virtio.Ring {
 	ring := virtio.NewRing(b.Host.Eng, b.VIO)
 	ring.Rec = b.Rec
-	ring.Serve("masq-backend:"+vm.Name, func(p *simtime.Proc, cmd any) any {
+	ring.Serve("masq-backend:"+vmName, func(p *simtime.Proc, cmd any) any {
 		return b.handle(p, cmd)
 	})
-	return &Frontend{b: b, sess: sess, ring: ring}, nil
+	return ring
 }
 
 // cmdName labels a forwarded command for tracing.

@@ -147,6 +147,30 @@ type Params struct {
 	// reveal controller outages, restarts (epoch bumps), and dropped push
 	// notifications.
 	LeaseRenewEvery simtime.Duration
+
+	// MigrSuspendTTL bounds how long a peer QP stays quiesced after a
+	// migration Suspend push: if neither the Moved (commit) nor the
+	// rollback-resume push arrives within the TTL — both were lost, or
+	// the controller died mid-migration — the QP auto-resumes toward
+	// whatever address it has programmed and lives or dies by the normal
+	// transport retry budget. Zero means 50 ms.
+	MigrSuspendTTL simtime.Duration
+
+	// MigrRenameCost is the host-software cost of renaming one peer
+	// connection in place when a Moved push lands: rewrite the QP
+	// context's address vector (new physical GID/IP/MAC, translated
+	// destination QPN) in host memory.
+	MigrRenameCost simtime.Duration
+
+	// MigrQPCost is the per-QP host cost of capturing or restoring
+	// transport state during a live migration's freeze/restore (detach or
+	// adopt plus the conntrack rewrite bookkeeping).
+	MigrQPCost simtime.Duration
+
+	// MigrMRCost is the per-MR host cost of moving a registration across
+	// hosts beyond the page-table work itself: MTT capture on the source,
+	// adoption under preserved keys on the destination.
+	MigrMRCost simtime.Duration
 }
 
 // DefaultParams returns the paper's measured costs.
@@ -166,6 +190,11 @@ func DefaultParams() Params {
 		RetryBackoffMax:  simtime.Ms(10),
 		StaleDetectCost:  simtime.Ms(1),
 		LeaseRenewEvery:  simtime.Ms(1),
+
+		MigrSuspendTTL: simtime.Ms(50),
+		MigrRenameCost: simtime.Us(1),
+		MigrQPCost:     simtime.Us(3),
+		MigrMRCost:     simtime.Us(2),
 
 		BatchWindow:      simtime.Us(20),
 		PoolReuseCost:    simtime.Us(2),

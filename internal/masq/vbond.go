@@ -35,6 +35,25 @@ func NewVBond(vni uint32, vnic *overlay.VMPort, ctrl *controller.Controller, phy
 	return b
 }
 
+// NewVBondDeferred creates a bond that does NOT register with the
+// controller and starts stopped: the live-migration destination builds its
+// successor bond this way, so the (VNI, vGID) → destination mapping is
+// published atomically by the controller Move RPC — the commit point —
+// rather than by construction. activate() arms it once the move commits;
+// a rolled-back migration simply abandons the stopped bond.
+func NewVBondDeferred(vni uint32, vnic *overlay.VMPort, ctrl *controller.Controller, phys controller.Mapping) *VBond {
+	b := &VBond{vni: vni, vnic: vnic, ctrl: ctrl, phys: phys, stopped: true}
+	if ip := vnic.EP.VIP; !ip.IsZero() {
+		b.vgid = packet.GIDFromIP(ip)
+	}
+	vnic.OnIPChange(b.ipChanged)
+	return b
+}
+
+// activate arms a deferred bond after the migration commit: from here on
+// it owns the lease and reacts to IP changes like any live bond.
+func (b *VBond) activate() { b.stopped = false }
+
 // GID returns the current virtual GID — what the application sees from
 // ibv_query_gid (the frontend answers locally from here; the verb is pure
 // software and never forwarded).

@@ -318,6 +318,51 @@ func (s *AddrSpace) MappedPages() []uint64 {
 	return pages
 }
 
+// MappedBytes returns the total bytes mapped in the space — the image
+// size a migration's pre-copy has to move.
+func (s *AddrSpace) MappedBytes() uint64 {
+	return uint64(len(s.pt)) * PageSize
+}
+
+// Rehome moves the space's backing into a new parent space *in place*:
+// for every mapped page, fresh backing is allocated in parent, the bytes
+// are copied across, and the page-table entry is rewritten. The AddrSpace
+// object itself — and therefore every child space layered on top of it —
+// survives with its virtual addresses intact. This is the stop-copy of a
+// transparent live migration: the guest-physical space is re-homed from
+// the source host's userspace to the destination's, and the guest-virtual
+// space above it never notices. It refuses while any page of *this* space
+// is pinned (DMA-visible pages must be unpinned first); pins held in
+// child spaces are unaffected and remain valid.
+func (s *AddrSpace) Rehome(parent *AddrSpace) error {
+	if s.Pinned() {
+		return fmt.Errorf("mem: %s: cannot rehome pinned (DMA-registered) memory", s.name)
+	}
+	buf := make([]byte, PageSize)
+	pages := s.MappedPages()
+	bases := make([]uint64, len(pages))
+	for i, vp := range pages {
+		base, err := parent.AllocBacking(1)
+		if err != nil {
+			return err
+		}
+		if err := s.Read(vp*PageSize, buf); err != nil {
+			return err
+		}
+		if err := parent.Write(base, buf); err != nil {
+			return err
+		}
+		bases[i] = base
+	}
+	// Commit: every page copied, now flip the table and the parent link.
+	for i, vp := range pages {
+		s.pt[vp].lower = bases[i] / PageSize
+	}
+	s.parent = parent
+	s.alloc = parent.AllocBacking
+	return nil
+}
+
 // MigrateTo re-creates every mapping of s inside dst — same virtual
 // addresses, freshly allocated backing — and copies the contents page by
 // page (the pre-copy of a VM migration). It fails if any page is pinned.

@@ -227,7 +227,7 @@ func NewDevice(eng *simtime.Engine, name string, p Params, hostMem mem.Memory) *
 		cqs:      make(map[uint32]*CQ),
 		pds:      make(map[uint32]*PD),
 		nextQPN:  1,
-		nextKey:  1,
+		nextKey:  p.KeyBase + 1,
 		nextCQ:   1,
 		nextPD:   1,
 		firmware: simtime.NewResource(eng, 1),

@@ -117,6 +117,13 @@ type Params struct {
 	// Resource limits.
 	MaxVFs int // non-ARI PCIe exposes 8 VFs (Table 5)
 
+	// KeyBase offsets MR key minting: the device assigns lkeys/rkeys
+	// sequentially from KeyBase+1. Hosts in a cluster use disjoint bases so
+	// a migrated MR keeps keys that cannot collide with regions already
+	// registered on the destination device — peers hold rkeys in
+	// application state, so keys must survive a live migration unchanged.
+	KeyBase uint32
+
 	// On-chip context cache model (Sec. 1's hardware-solution scalability
 	// discussion): per-packet QP-context lookups that miss the cache pay
 	// CtxMissPenalty of extra pipeline occupancy. A zero CtxCacheSize

@@ -50,6 +50,7 @@ type QP struct {
 	retries        int
 	rnrRetries     int
 	scheduled      bool
+	suspended      bool // migration quiesce: no TX, no retransmit timer
 	timerPending   bool
 	deadline       simtime.Time
 	pausedUntil    simtime.Time
@@ -260,9 +261,33 @@ func (qp *QP) busy() bool {
 	return len(qp.sq) > 0 || psnDiff(qp.sndNxt, qp.sndUna) > 0
 }
 
+// Suspend quiesces the QP's requester side: no packets are emitted and
+// the retransmission timer is disarmed until Resume. The responder side
+// keeps working. A controller Suspend push sets this on every peer QP of
+// a migrating VM so a blackout longer than MaxRetry×RetransTimeout does
+// not kill the connection through retry exhaustion.
+func (qp *QP) Suspend() { qp.suspended = true }
+
+// Suspended reports whether the QP is migration-quiesced.
+func (qp *QP) Suspended() bool { return qp.suspended }
+
+// Resume lifts a suspension. With replay set, transmission restarts from
+// the first unacknowledged PSN — the go-back-N replay of the in-flight
+// window — without charging a transport retry: those packets were lost to
+// a planned blackout, not the network.
+func (qp *QP) Resume(replay bool) {
+	qp.suspended = false
+	if replay && psnDiff(qp.sndNxt, qp.sndUna) > 0 {
+		qp.seekTo(qp.sndUna)
+		qp.retries = 0
+	}
+	qp.armTimer()
+	qp.kick()
+}
+
 // kick schedules the QP on the device TX pipeline if it has work.
 func (qp *QP) kick() {
-	if qp.scheduled || !qp.state.canTransmit() || !qp.hasWork() {
+	if qp.scheduled || qp.suspended || !qp.state.canTransmit() || !qp.hasWork() {
 		return
 	}
 	qp.scheduled = true
@@ -409,6 +434,16 @@ func (qp *QP) rewind(from uint32) {
 		qp.enterError(WCRetryExceeded)
 		return
 	}
+	if qp.seekTo(from) {
+		qp.armTimer()
+		qp.kick()
+	}
+}
+
+// seekTo repositions the send engine to resume at PSN from, reporting
+// whether there was anything to resend (false when the ack point raced
+// ahead, in which case the engine resets to the tail).
+func (qp *QP) seekTo(from uint32) bool {
 	for i, w := range qp.sq {
 		if !w.assigned {
 			break
@@ -422,13 +457,12 @@ func (qp *QP) rewind(from uint32) {
 				qp.txOff = int(psnDiff(from, w.firstPSN)) * qp.dev.P.MTU
 			}
 			qp.sndNxt = from
-			qp.armTimer()
-			qp.kick()
-			return
+			return true
 		}
 	}
-	// Nothing to resend (ack raced ahead); reset to tail.
+	// Nothing to resend.
 	qp.sndNxt = qp.sndUna
+	return false
 }
 
 // armTimer pushes the retransmission deadline out. A single callback chain
@@ -447,7 +481,7 @@ func (qp *QP) armTimer() {
 
 func (qp *QP) timerFired() {
 	qp.timerPending = false
-	if qp.state != StateRTS || qp.deadline == 0 || psnDiff(qp.sndNxt, qp.sndUna) <= 0 {
+	if qp.suspended || qp.state != StateRTS || qp.deadline == 0 || psnDiff(qp.sndNxt, qp.sndUna) <= 0 {
 		return
 	}
 	now := qp.dev.eng.Now()

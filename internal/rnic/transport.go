@@ -88,8 +88,11 @@ func (d *Device) txService(qp *QP) {
 // txStep tries to start transmitting qp's next packet. It reports whether
 // the pipeline went busy (a continuation is scheduled).
 func (d *Device) txStep(qp *QP) bool {
+	if qp.dev != d {
+		return false // stale entry: the QP migrated to another device
+	}
 	qp.scheduled = false
-	if !qp.state.canTransmit() || !qp.hasWork() {
+	if qp.suspended || !qp.state.canTransmit() || !qp.hasWork() {
 		return false
 	}
 	now := d.eng.Now()

@@ -63,6 +63,12 @@ type (
 	EndpointOpts = cluster.EndpointOpts
 	// ConnectedPair is a ready RC connection between two fresh nodes.
 	ConnectedPair = cluster.ConnectedPair
+	// MigrateOpts tunes Testbed.LiveMigrateNode (dirty rate, copy
+	// bandwidth, stop-copy threshold).
+	MigrateOpts = cluster.MigrateOpts
+	// MigrateReport is a live migration's accounting (blackout breakdown,
+	// pre-copy rounds, capture size).
+	MigrateReport = cluster.MigrateReport
 	// Tenant is a VPC: a VXLAN segment plus its security policy.
 	Tenant = overlay.Tenant
 	// Policy is a tenant's security-group / firewall rule chain.
@@ -236,6 +242,9 @@ var (
 	ChaosFlap = chaos.Flap
 	// ChaosCrash kills a testbed node (by creation index) at a time.
 	ChaosCrash = chaos.Crash
+	// ChaosMigrate live-migrates a testbed node (by creation index) to a
+	// destination host at a time.
+	ChaosMigrate = chaos.Migrate
 	// ChaosCtrlOutage crashes the SDN controller (table and queued pushes
 	// lost) and restarts it empty at a new epoch.
 	ChaosCtrlOutage = chaos.CtrlOutage
