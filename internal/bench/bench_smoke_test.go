@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-virtio-batch", "abl-nic-cache", "abl-mtu", "abl-transport",
 		"abl-ctrl-faults", "abl-trace-overhead", "abl-chaos",
 		"abl-ctrl-crash", "abl-rule-scale", "abl-setup-rate", "abl-shard-scale",
-		"abl-migrate",
+		"abl-migrate", "abl-ctrl-scale",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

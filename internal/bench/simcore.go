@@ -49,6 +49,11 @@ type SimCoreReport struct {
 	// abl-migrate sweep (blackout vs guest dirty rate and live-connection
 	// count) so blackout regressions show up across PRs.
 	Migration []MigrationPoint `json:"migration"`
+	// CtrlScale is the sharded-controller curve: the 1000-host × 100-VM
+	// renewal-wave + rename-flood storm at increasing shard counts (the
+	// abl-ctrl-scale cells), plus one mid-storm failover row. Setup-path
+	// p99 and wave completion must improve with shard count.
+	CtrlScale []CtrlScalePoint `json:"ctrl_scale"`
 }
 
 // measure runs setup once, then op n times, and reports wall time, heap
@@ -164,6 +169,9 @@ func SimCoreBench() *SimCoreReport {
 			rep.Migration = append(rep.Migration, runLiveMigrate(dirty, conns))
 		}
 	}
+
+	rep.CtrlScale = CtrlScaleCurve(1000, 100, 20, []int{1, 2, 4, 8}, false)
+	rep.CtrlScale = append(rep.CtrlScale, runCtrlScale(1000, 100, 20, 4, true))
 	return rep
 }
 

@@ -57,6 +57,21 @@ const (
 	// NodeCrash, the injector only knows indices; the cluster layer
 	// supplies the OnMigrate callback that runs the migration engine.
 	NodeMigrate
+	// CtrlShardCrash kills one controller shard's primary at At (and
+	// restarts it at Until, if nonzero). With replication enabled the
+	// shard's standby auto-promotes after the failover-detect window; the
+	// other shards keep serving throughout.
+	CtrlShardCrash
+	// CtrlShardRestart restarts one crashed controller shard at At.
+	CtrlShardRestart
+	// CtrlShardPartition isolates one shard's primary for [At, Until): RPCs
+	// to it time out but its table survives. A heal before the failover
+	// detector fires is a blip; after, the deposed primary's writes are
+	// fenced and it rejoins as the shard's fresh standby.
+	CtrlShardPartition
+	// CtrlReplLag inflates one shard's replication delay by Extra for
+	// [At, Until), widening the standby's loss window for failovers.
+	CtrlReplLag
 )
 
 func (k Kind) String() string {
@@ -81,6 +96,14 @@ func (k Kind) String() string {
 		return "ctrl-restart"
 	case NodeMigrate:
 		return "node-migrate"
+	case CtrlShardCrash:
+		return "ctrl-shard-crash"
+	case CtrlShardRestart:
+		return "ctrl-shard-restart"
+	case CtrlShardPartition:
+		return "ctrl-shard-partition"
+	case CtrlReplLag:
+		return "ctrl-repl-lag"
 	}
 	return "unknown"
 }
@@ -95,12 +118,14 @@ type Event struct {
 	Switch *simnet.Switch // SwitchDown/SwitchUp
 	Node   int            // NodeCrash/NodeMigrate
 	Dst    int            // NodeMigrate: destination host index
+	Shard  int            // CtrlShard*/CtrlReplLag: controller shard index
 
 	Prob  float64 // LinkLoss: per-decision drop probability
 	Burst int     // LinkLoss: consecutive frames lost per decision (min 1)
 
 	Period  simtime.Duration // LinkFlap: one cut per Period
 	DownFor simtime.Duration // LinkFlap: cut length
+	Extra   simtime.Duration // CtrlReplLag: added replication delay
 }
 
 // Plan is a seeded fault schedule. Seed feeds the per-window loss PRNGs
@@ -156,6 +181,23 @@ func CtrlOutage(from, to simtime.Time) Event {
 	return Event{Kind: CtrlCrash, At: from, Until: to}
 }
 
+// ShardCrash returns a crash of one controller shard's primary at from
+// (with a restart at to, if nonzero — under replication the standby
+// usually auto-promotes first and the restart is a no-op).
+func ShardCrash(shard int, from, to simtime.Time) Event {
+	return Event{Kind: CtrlShardCrash, At: from, Until: to, Shard: shard}
+}
+
+// ShardPartition isolates one controller shard's primary for [from, to).
+func ShardPartition(shard int, from, to simtime.Time) Event {
+	return Event{Kind: CtrlShardPartition, At: from, Until: to, Shard: shard}
+}
+
+// ReplLag inflates one shard's replication delay by extra for [from, to).
+func ReplLag(shard int, from, to simtime.Time, extra simtime.Duration) Event {
+	return Event{Kind: CtrlReplLag, At: from, Until: to, Shard: shard, Extra: extra}
+}
+
 // Stats counts faults the injector actually applied.
 type Stats struct {
 	LinkTransitions   uint64 // down/up edges applied to links (flaps included)
@@ -165,6 +207,10 @@ type Stats struct {
 	Migrations        uint64 // node live migrations fired
 	CtrlCrashes       uint64 // controller crashes fired
 	CtrlRestarts      uint64 // controller restarts fired
+	ShardCrashes      uint64 // controller shard crashes fired
+	ShardRestarts     uint64 // controller shard restarts fired
+	ShardPartitions   uint64 // controller shard partitions fired
+	ReplLagWindows    uint64 // replication-lag windows installed
 }
 
 // Injector arms a Plan on an engine and records the applied-fault trace.
@@ -185,6 +231,13 @@ type Injector struct {
 	// layer wires them to Controller.Crash and Controller.Restart.
 	OnCtrlCrash   func()
 	OnCtrlRestart func()
+
+	// Sharded-controller hooks: the cluster layer wires these to the
+	// controller.Sharded per-shard crash/restart/partition/lag entry points.
+	OnShardCrash     func(shard int)
+	OnShardRestart   func(shard int)
+	OnShardPartition func(shard int, heal simtime.Time)
+	OnReplLag        func(shard int, until simtime.Time, extra simtime.Duration)
 
 	// OnLinkState, when set, is invoked after every applied link
 	// transition (edge-filtered: only real state changes). The cluster
@@ -238,6 +291,17 @@ func (in *Injector) Arm(pl Plan) {
 			}
 		case CtrlRestart:
 			in.at(ev.At, in.ctrlRestart)
+		case CtrlShardCrash:
+			in.at(ev.At, func() { in.shardCrash(ev.Shard) })
+			if ev.Until > ev.At {
+				in.at(ev.Until, func() { in.shardRestart(ev.Shard) })
+			}
+		case CtrlShardRestart:
+			in.at(ev.At, func() { in.shardRestart(ev.Shard) })
+		case CtrlShardPartition:
+			in.at(ev.At, func() { in.shardPartition(ev.Shard, ev.Until) })
+		case CtrlReplLag:
+			in.at(ev.At, func() { in.replLag(ev.Shard, ev.Until, ev.Extra) })
 		}
 	}
 }
@@ -340,6 +404,38 @@ func (in *Injector) ctrlRestart() {
 	in.record("ctrl restart")
 	if in.OnCtrlRestart != nil {
 		in.OnCtrlRestart()
+	}
+}
+
+func (in *Injector) shardCrash(shard int) {
+	in.Stats.ShardCrashes++
+	in.record("ctrl shard %d crash", shard)
+	if in.OnShardCrash != nil {
+		in.OnShardCrash(shard)
+	}
+}
+
+func (in *Injector) shardRestart(shard int) {
+	in.Stats.ShardRestarts++
+	in.record("ctrl shard %d restart", shard)
+	if in.OnShardRestart != nil {
+		in.OnShardRestart(shard)
+	}
+}
+
+func (in *Injector) shardPartition(shard int, heal simtime.Time) {
+	in.Stats.ShardPartitions++
+	in.record("ctrl shard %d partition until=%d", shard, int64(heal))
+	if in.OnShardPartition != nil {
+		in.OnShardPartition(shard, heal)
+	}
+}
+
+func (in *Injector) replLag(shard int, until simtime.Time, extra simtime.Duration) {
+	in.Stats.ReplLagWindows++
+	in.record("ctrl shard %d repl-lag until=%d extra=%d", shard, int64(until), int64(extra))
+	if in.OnReplLag != nil {
+		in.OnReplLag(shard, until, extra)
 	}
 }
 

@@ -73,17 +73,29 @@ type Config struct {
 
 	// Shards runs the testbed on a parallel ShardedEngine: host i (its
 	// RNIC, vswitch, VMs, procs) lives on shard i % Shards, while the ToR
-	// switch, controller, fabric, and chaos injector stay on shard 0. The
-	// underlay links become cross-shard exchanges whose minimum latency is
+	// switch, fabric, and chaos injector stay on shard 0. The underlay
+	// links become cross-shard exchanges whose minimum latency is
 	// PropDelay, which therefore must be positive and becomes the engine's
 	// conservative lookahead. 0 (the default) keeps the classic single
 	// Engine with no exchange machinery; 1 runs the sharded machinery on
 	// one shard — the reference oracle that N-shard runs are byte-compared
-	// against. With Shards > 1 only ModeHost and ModeSRIOV nodes are
-	// supported (MasQ and FreeFlow call into the shared controller from
-	// host procs, which is not shard-safe yet) and chaos plans are
-	// rejected (fault callbacks mutate devices across shards).
+	// against. With Shards > 1, ModeHost and ModeSRIOV nodes are always
+	// supported; MasQ modes additionally require CtrlShards > 0 (the
+	// sharded controller places each shard on an engine shard and backends
+	// reach it through per-host exchange proxies — see controller.Remote).
+	// FreeFlow is not shard-safe, and chaos plans are rejected (fault
+	// callbacks mutate devices across shards).
 	Shards int
+
+	// CtrlShards splits the controller's mapping table across this many
+	// shards by consistent hash of (VNI, vGID) — each with its own epoch,
+	// lease table, push queues, and (with Ctrl.Replicate) a standby
+	// replica that auto-promotes on failover. 0 (the default) keeps the
+	// classic single Controller in Testbed.Ctrl; any value > 0 builds a
+	// controller.Sharded in Testbed.CtrlSharded instead. CtrlSvc always
+	// exposes whichever was built. On an engine-sharded testbed controller
+	// shard c lives on engine shard c % Shards.
+	CtrlShards int
 
 	// Trace enables the cross-layer span recorder: Testbed.Trace is
 	// created and threaded through every device, backend, ring and the
@@ -120,10 +132,16 @@ type Testbed struct {
 	// Cfg.Shards > 0. Drive sharded testbeds with tb.Run/tb.RunUntil (or
 	// Sharded.Run), never Eng.Run — shard 0 alone would starve the rest.
 	Sharded *simtime.ShardedEngine
-	Cfg     Config
-	Hosts    []*hyper.Host
-	Fab      *overlay.Fabric
-	Ctrl     *controller.Controller
+	Cfg   Config
+	Hosts []*hyper.Host
+	Fab   *overlay.Fabric
+	// Ctrl is the classic single controller, non-nil iff CtrlShards == 0.
+	Ctrl *controller.Controller
+	// CtrlSharded is the sharded controller, non-nil iff CtrlShards > 0.
+	CtrlSharded *controller.Sharded
+	// CtrlSvc is the controller service every backend talks to: Ctrl or
+	// CtrlSharded, whichever the config built.
+	CtrlSvc  controller.Service
 	Backends []*masq.Backend // per host, nil until first MasQ node
 	// Links are the underlay links: one for a direct pair, or one per host
 	// toward the ToR switch (Links[i] is host i's uplink). Attach taps here
@@ -172,15 +190,37 @@ func New(cfg Config) *Testbed {
 		Eng:       eng,
 		Sharded:   se,
 		Cfg:       cfg,
-		Ctrl:      controller.New(eng, cfg.Ctrl),
 		neighbors: make(map[packet.IP]packet.MAC),
 		masqMode:  masq.ModeVF,
 	}
+	if cfg.CtrlShards > 0 {
+		// Controller shard c lives on engine shard c % Shards (shard 0's
+		// engine when the testbed is not engine-sharded), so MasQ nodes on
+		// any engine shard reach their shards without serializing through
+		// engine shard 0.
+		engines := []*simtime.Engine{eng}
+		if se != nil {
+			engines = engines[:0]
+			for i := 0; i < se.NumShards(); i++ {
+				engines = append(engines, se.Shard(i))
+			}
+		}
+		tb.CtrlSharded = controller.NewSharded(engines, cfg.Ctrl, cfg.CtrlShards)
+		tb.CtrlSvc = tb.CtrlSharded
+		tb.CtrlSharded.SetFaultPlan(cfg.CtrlFault)
+	} else {
+		tb.Ctrl = controller.New(eng, cfg.Ctrl)
+		tb.CtrlSvc = tb.Ctrl
+		tb.Ctrl.SetFaultPlan(cfg.CtrlFault)
+	}
 	tb.Fab = overlay.NewFabric(eng, cfg.Overlay)
-	tb.Ctrl.SetFaultPlan(cfg.CtrlFault)
 	if cfg.Trace {
 		tb.Trace = trace.NewSharded(max(cfg.Shards, 1))
-		tb.Ctrl.SetRecorder(tb.Trace)
+		if tb.CtrlSharded != nil {
+			tb.CtrlSharded.SetRecorder(tb.Trace)
+		} else {
+			tb.Ctrl.SetRecorder(tb.Trace)
+		}
 	}
 
 	resolveHost := func(ip packet.IP) (packet.MAC, bool) {
@@ -240,8 +280,23 @@ func New(cfg Config) *Testbed {
 			_, _ = tb.LiveMigrateNode(p, n, dst, MigrateOpts{})
 		})
 	}
-	tb.Chaos.OnCtrlCrash = func() { tb.Ctrl.Crash() }
-	tb.Chaos.OnCtrlRestart = func() { tb.Ctrl.Restart() }
+	if tb.CtrlSharded != nil {
+		// A whole-controller outage on a sharded control plane crashes
+		// every shard's primary; with replication on, each standby
+		// auto-promotes after the detect window, so the Until edge's
+		// RestartAll only restarts shards still down.
+		tb.Chaos.OnCtrlCrash = func() { tb.CtrlSharded.CrashAll() }
+		tb.Chaos.OnCtrlRestart = func() { tb.CtrlSharded.RestartAll() }
+		tb.Chaos.OnShardCrash = tb.CtrlSharded.CrashShard
+		tb.Chaos.OnShardRestart = tb.CtrlSharded.RestartShard
+		tb.Chaos.OnShardPartition = func(shard int, heal simtime.Time) {
+			tb.CtrlSharded.PartitionShard(shard, heal.Sub(tb.Eng.Now()))
+		}
+		tb.Chaos.OnReplLag = tb.CtrlSharded.SetLagWindow
+	} else {
+		tb.Chaos.OnCtrlCrash = func() { tb.Ctrl.Crash() }
+		tb.Chaos.OnCtrlRestart = func() { tb.Ctrl.Restart() }
+	}
 	tb.Chaos.OnLinkState = func(l *simnet.Link, down bool) {
 		// A cable cut is visible to both adjacent RNICs as a port event.
 		for _, h := range tb.Hosts {
@@ -318,10 +373,27 @@ func (tb *Testbed) AllowAll(vni uint32) int {
 	})
 }
 
+// ctrlFor returns the controller service host hostIdx's backend should
+// talk to: the shared Ctrl/CtrlSharded front directly, or — on an
+// engine-sharded testbed with a sharded controller — a per-host
+// controller.Remote that routes every RPC and notification over
+// exchanges, so host procs never touch another engine shard's state.
+func (tb *Testbed) ctrlFor(hostIdx int) controller.Service {
+	if tb.CtrlSharded == nil {
+		return tb.Ctrl
+	}
+	if tb.Sharded == nil {
+		return tb.CtrlSharded
+	}
+	n := tb.Sharded.NumShards()
+	return controller.NewRemote(tb.Sharded, tb.CtrlSharded, hostIdx%n,
+		func(ctrlShard int) int { return ctrlShard % n }, tb.Cfg.PropDelay)
+}
+
 // Backend returns (creating on demand) the MasQ backend of a host.
 func (tb *Testbed) Backend(hostIdx int) *masq.Backend {
 	if tb.Backends[hostIdx] == nil {
-		tb.Backends[hostIdx] = masq.NewBackend(tb.Hosts[hostIdx], tb.Ctrl, tb.Fab, tb.Cfg.Masq, tb.masqMode)
+		tb.Backends[hostIdx] = masq.NewBackend(tb.Hosts[hostIdx], tb.ctrlFor(hostIdx), tb.Fab, tb.Cfg.Masq, tb.masqMode)
 		tb.Backends[hostIdx].SetRecorder(tb.Trace)
 		if tb.leaseUntil != 0 {
 			tb.Backends[hostIdx].StartLeaseRenewal(tb.leaseUntil)
@@ -407,6 +479,14 @@ func (tb *Testbed) NewNode(mode Mode, hostIdx int, vni uint32, vip packet.IP) (*
 		case ModeHost, ModeSRIOV:
 			// Shard-safe: after setup these nodes only interact across
 			// hosts through simnet frames, which ride the exchanges.
+		case ModeMasQ, ModeMasQPF, ModeMasQShared:
+			// Shard-safe iff the controller is sharded: backends then talk
+			// to it through per-host exchange proxies (controller.Remote)
+			// instead of reaching into another shard's state.
+			if tb.CtrlSharded == nil {
+				return nil, fmt.Errorf("cluster: %v nodes with Shards > 1 need CtrlShards > 0 "+
+					"(the sharded controller is what makes cross-shard control RPCs shard-safe)", mode)
+			}
 		default:
 			return nil, fmt.Errorf("cluster: %v nodes call the shared controller from host procs, "+
 				"which is not shard-safe; use ModeHost or ModeSRIOV with Shards > 1", mode)

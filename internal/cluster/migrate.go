@@ -88,6 +88,11 @@ func (tb *Testbed) LiveMigrateNode(p *simtime.Proc, n *Node, dstHost int, opts M
 	if n.Mode != ModeMasQ && n.Mode != ModeMasQPF {
 		return nil, fmt.Errorf("cluster: transparent live migration needs a MasQ VF/PF node (got %v)", n.Mode)
 	}
+	if tb.Sharded != nil && tb.Sharded.NumShards() > 1 {
+		// The migration engine mutates source and destination host state
+		// from one proc, which is not safe across engine shards.
+		return nil, fmt.Errorf("cluster: transparent live migration is not supported with engine Shards > 1")
+	}
 	if n.crashed {
 		return nil, fmt.Errorf("cluster: %s has crashed", n.Name)
 	}
@@ -145,7 +150,7 @@ func (tb *Testbed) LiveMigrateNode(p *simtime.Proc, n *Node, dstHost int, opts M
 	// endpoint; a failure (controller dark) aborts with nothing touched.
 	vb := fe.VBond()
 	key := controller.Key{VNI: vb.VNI(), VGID: vb.GID()}
-	if err := tb.Ctrl.Suspend(p, key); err != nil {
+	if err := tb.CtrlSvc.Suspend(p, key); err != nil {
 		return rep, fmt.Errorf("cluster: live migration of %s aborted before freeze: %w", n.Name, err)
 	}
 
@@ -156,7 +161,7 @@ func (tb *Testbed) LiveMigrateNode(p *simtime.Proc, n *Node, dstHost int, opts M
 		// The capture refuses before mutating anything (wrong backend,
 		// dead session, shared mode). Wake the peers the Suspend push
 		// quiesced; if this push is lost too, their suspend TTL fires.
-		_ = tb.Ctrl.Move(p, key, srcB.HostMapping(), nil)
+		_ = tb.CtrlSvc.Move(p, key, srcB.HostMapping(), nil)
 		return rep, fmt.Errorf("cluster: live migration of %s aborted: %w", n.Name, err)
 	}
 	rep.QPs, rep.MRs, rep.Conns = cap.Counts()
@@ -189,7 +194,7 @@ func (tb *Testbed) LiveMigrateNode(p *simtime.Proc, n *Node, dstHost int, opts M
 		return tb.rollbackLive(p, n, rep, cap, key, srcB, dstB, err)
 	}
 	cmStart := p.Now()
-	if err := tb.Ctrl.Move(p, key, dstB.HostMapping(), cap.QPNMap); err != nil {
+	if err := tb.CtrlSvc.Move(p, key, dstB.HostMapping(), cap.QPNMap); err != nil {
 		// The realistic chaos case: the controller is unreachable at the
 		// commit point. Nothing was published — put the endpoint back.
 		if fbErr := tb.Fab.MoveEndpoint(n.VM.VNIC, src.VSwitch); fbErr != nil {
@@ -226,7 +231,7 @@ func (tb *Testbed) rollbackLive(p *simtime.Proc, n *Node, rep *MigrateReport, ca
 	// mapping republished is the source's own, so a delivered push renames
 	// nothing and merely wakes them; a lost push leaves the suspend TTL to
 	// do the same.
-	_ = tb.Ctrl.Move(p, key, srcB.HostMapping(), nil)
+	_ = tb.CtrlSvc.Move(p, key, srcB.HostMapping(), nil)
 	rep.RolledBack = true
 	rep.Blackout = 0
 	return rep, fmt.Errorf("cluster: live migration of %s rolled back: %w", n.Name, cause)

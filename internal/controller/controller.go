@@ -67,6 +67,29 @@ type Params struct {
 	// QueryRTT + entries × DumpEntryCost.
 	DumpEntryCost simtime.Duration
 
+	// DumpPageSize pages FetchDump serialization: instead of occupying the
+	// controller for the whole entries × DumpEntryCost stretch, the dump is
+	// serialized in chunks of this many entries, letting queued lookups
+	// interleave between pages on a busy shard. Zero keeps the historical
+	// single-stretch serialization.
+	DumpPageSize int
+
+	// Replicate gives every shard of a Sharded controller a standby
+	// replica fed by a push-replicated mutation log; a crashed or
+	// partitioned primary is then promoted automatically after
+	// FailoverDetect. Ignored by a bare Controller.
+	Replicate bool
+
+	// ReplDelay is the per-record apply latency of the replication log:
+	// a mutation is visible on the standby this long after the primary
+	// accepted it. The window between accept and apply is exactly what a
+	// failover can lose (fenced writes).
+	ReplDelay simtime.Duration
+
+	// FailoverDetect is how long a shard primary must be unreachable
+	// before its standby is promoted. Zero defaults to 2 × QueryTimeout.
+	FailoverDetect simtime.Duration
+
 	// Seed seeds the notification-loss PRNG.
 	Seed int64
 }
@@ -90,6 +113,15 @@ func (p Params) queryTimeout() simtime.Duration {
 		return p.QueryTimeout
 	}
 	return 10 * p.QueryRTT
+}
+
+// failoverDetect returns the configured promotion delay, defaulting to two
+// query timeouts — long enough that a renewal round has visibly failed.
+func (p Params) failoverDetect() simtime.Duration {
+	if p.FailoverDetect > 0 {
+		return p.FailoverDetect
+	}
+	return 2 * p.queryTimeout()
 }
 
 // Window is a half-open interval [Start, End) of virtual time during which
@@ -230,6 +262,15 @@ type Controller struct {
 
 	epoch uint64
 	down  bool
+
+	// occupy, when set, replaces serialization sleeps with the owning
+	// shard's service-queue model (wait for the slot, then hold it for the
+	// cost). Nil — the bare-controller default — is a plain Sleep, which is
+	// byte-identical to the historical behaviour.
+	occupy func(p *simtime.Proc, cost simtime.Duration)
+	// mutated, when set, appends every accepted table write to the owning
+	// shard's replication log. Nil (the default) replicates nothing.
+	mutated func(k Key, e entry, removed bool)
 }
 
 // entry is one table row: the mapping, the epoch it was written under, and
@@ -321,7 +362,9 @@ func (c *Controller) Register(k Key, m Mapping) {
 		return
 	}
 	c.Stats.Updates++
-	c.table[k] = entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(c.eng.Now())}
+	e := entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(c.eng.Now())}
+	c.table[k] = e
+	c.logMutation(k, e, false)
 	c.notify(Notify{Key: k, Mapping: m})
 }
 
@@ -335,6 +378,7 @@ func (c *Controller) Unregister(k Key) {
 	}
 	c.Stats.Removals++
 	delete(c.table, k)
+	c.logMutation(k, entry{}, true)
 	c.notify(Notify{Key: k, Removed: true})
 }
 
@@ -420,6 +464,28 @@ func (c *Controller) windowOverlaps(from, to simtime.Time) bool {
 	return false
 }
 
+// serialize charges a serialization cost: through the shard service-queue
+// model when the controller belongs to a Sharded front door, otherwise a
+// plain sleep (identical virtual time when uncontended).
+func (c *Controller) serialize(p *simtime.Proc, cost simtime.Duration) {
+	if cost <= 0 {
+		return
+	}
+	if c.occupy != nil {
+		c.occupy(p, cost)
+		return
+	}
+	p.Sleep(cost)
+}
+
+// logMutation appends one accepted table write to the replication log, if
+// any is attached.
+func (c *Controller) logMutation(k Key, e entry, removed bool) {
+	if c.mutated != nil {
+		c.mutated(k, e, removed)
+	}
+}
+
 // rpc models one control RPC round trip under the fault plan. The
 // controller must be reachable for the whole [send, send+QueryRTT]
 // interval — a window opening (or a crash landing) anywhere mid-RTT eats
@@ -503,7 +569,9 @@ func (c *Controller) Renew(p *simtime.Proc, k Key, m Mapping) (uint64, error) {
 		had = false
 	}
 	c.Stats.Renewals++
-	c.table[k] = entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(now)}
+	e := entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(now)}
+	c.table[k] = e
+	c.logMutation(k, e, false)
 	if !had || old.m != m {
 		c.notify(Notify{Key: k, Mapping: m})
 	}
@@ -541,7 +609,9 @@ func (c *Controller) Move(p *simtime.Proc, k Key, m Mapping, qpnMap map[uint32]u
 	}
 	c.Stats.Moves++
 	c.Stats.Updates++
-	c.table[k] = entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(p.Now())}
+	e := entry{m: m, epoch: c.epoch, expires: c.leaseExpiry(p.Now())}
+	c.table[k] = e
+	c.logMutation(k, e, false)
 	c.notify(Notify{Key: k, Mapping: m, Moved: true, QPNMap: qpnMap})
 	return nil
 }
@@ -578,7 +648,7 @@ func (c *Controller) BatchLookup(p *simtime.Proc, keys []Key, renew []RenewReq) 
 	}
 	if d := c.P.DumpEntryCost; d > 0 {
 		if extra := len(keys) + len(renew) - 1; extra > 0 {
-			p.Sleep(simtime.Duration(extra) * d)
+			c.serialize(p, simtime.Duration(extra)*d)
 		}
 	}
 	now := p.Now()
@@ -590,7 +660,9 @@ func (c *Controller) BatchLookup(p *simtime.Proc, keys []Key, renew []RenewReq) 
 		}
 		c.Stats.Renewals++
 		c.Stats.BatchRenewals++
-		c.table[r.K] = entry{m: r.M, epoch: c.epoch, expires: c.leaseExpiry(now)}
+		e := entry{m: r.M, epoch: c.epoch, expires: c.leaseExpiry(now)}
+		c.table[r.K] = e
+		c.logMutation(r.K, e, false)
 		if !had || old.m != r.M {
 			c.notify(Notify{Key: r.K, Mapping: r.M})
 		}
@@ -633,8 +705,21 @@ func (c *Controller) FetchDump(p *simtime.Proc, vni uint32) (map[Key]Mapping, ui
 				n++
 			}
 		}
-		if n > 0 {
-			p.Sleep(simtime.Duration(n) * d)
+		// Paged serialization (DumpPageSize > 0) releases the shard's
+		// serialization slot between chunks so queued lookups interleave
+		// with a big resync instead of waiting out the whole dump. The
+		// unpaged default is one stretch — byte-identical to the
+		// historical single sleep.
+		if page := c.P.DumpPageSize; page > 0 {
+			for rem := n; rem > 0; rem -= page {
+				chunk := rem
+				if chunk > page {
+					chunk = page
+				}
+				c.serialize(p, simtime.Duration(chunk)*d)
+			}
+		} else if n > 0 {
+			c.serialize(p, simtime.Duration(n)*d)
 		}
 	}
 	now := p.Now()

@@ -1,0 +1,212 @@
+package controller
+
+import (
+	"masq/internal/simtime"
+)
+
+// Remote is a per-host Service proxy for DES-sharded clusters: the host's
+// procs live on one engine shard, the controller shards on theirs, and
+// engine shards may only interact through Exchanges. Every RPC ships the
+// request over the host→controller exchange, executes in a spawned proc on
+// the controller shard's engine, and ships the reply back; notifications
+// relay the other way. Requests always ride the exchanges — even when the
+// host and the controller shard happen to share an engine shard — so the
+// cross-shard event order (time, exchange, seq) is independent of the
+// engine-shard count and a one-engine-shard run stays byte-identical to an
+// N-shard run.
+//
+// This is the shard-aware controller placement piece: MasQ-mode nodes call
+// the controller through their own Remote instead of reaching into shard
+// 0's state, so controller shards can live on any engine shard.
+type Remote struct {
+	s       *Sharded
+	hostEng *simtime.Engine
+	la      simtime.Duration // exchange latency (== the cluster lookahead)
+	chans   []remoteChan     // one pair per controller shard, in shard order
+}
+
+// remoteChan is the exchange pair to one controller shard.
+type remoteChan struct {
+	to, from *simtime.Exchange
+	eng      *simtime.Engine // that shard's engine
+}
+
+// NewRemote wires one host's proxy: hostShard is the engine shard the
+// host's procs run on, engineShardOf maps a controller shard to its engine
+// shard, and lat is the exchange latency (at least the cluster's
+// lookahead). Exchanges are created in controller-shard order, so as long
+// as hosts are wired in a deterministic order the cross-shard message
+// order is too.
+func NewRemote(se *simtime.ShardedEngine, s *Sharded, hostShard int, engineShardOf func(ctrlShard int) int, lat simtime.Duration) *Remote {
+	r := &Remote{
+		s:       s,
+		hostEng: se.Shard(hostShard),
+		la:      lat,
+		chans:   make([]remoteChan, s.NumShards()),
+	}
+	for cs := range r.chans {
+		es := engineShardOf(cs)
+		r.chans[cs] = remoteChan{
+			to:   se.NewExchange(hostShard, es, lat),
+			from: se.NewExchange(es, hostShard, lat),
+			eng:  se.Shard(es),
+		}
+	}
+	return r
+}
+
+// call ships op to the controller shard, runs it in a proc there, and
+// returns its boxed result to the waiting host proc.
+func (r *Remote) call(p *simtime.Proc, cs int, name string, op func(q *simtime.Proc) any) any {
+	ch := r.chans[cs]
+	ev := simtime.NewEvent[any](r.hostEng)
+	ch.to.Send(p.Now().Add(r.la), func() {
+		ch.eng.Spawn(name, func(q *simtime.Proc) {
+			res := op(q)
+			ch.from.Send(q.Now().Add(r.la), func() { ev.Trigger(res) })
+		})
+	})
+	return ev.Wait(p)
+}
+
+// NumShards returns the keyspace shard count.
+func (r *Remote) NumShards() int { return r.s.NumShards() }
+
+// Owner routes locally — the shard map is immutable and engine-safe.
+func (r *Remote) Owner(k Key) int { return r.s.Owner(k) }
+
+// RPCParams returns the shared cost model (a copy; engine-safe).
+func (r *Remote) RPCParams() Params { return r.s.RPCParams() }
+
+// Register ships a fire-and-forget registration to the owning shard.
+func (r *Remote) Register(k Key, m Mapping) {
+	cs := r.s.Owner(k)
+	ch := r.chans[cs]
+	ch.to.Send(r.hostEng.Now().Add(r.la), func() { r.s.shards[cs].pri.Register(k, m) })
+}
+
+// Unregister ships a fire-and-forget removal to the owning shard.
+func (r *Remote) Unregister(k Key) {
+	cs := r.s.Owner(k)
+	ch := r.chans[cs]
+	ch.to.Send(r.hostEng.Now().Add(r.la), func() { r.s.shards[cs].pri.Unregister(k) })
+}
+
+type remoteResolve struct {
+	m   Mapping
+	ok  bool
+	ep  uint64
+	err error
+}
+
+// Resolve proxies one lookup to the owning shard's engine.
+func (r *Remote) Resolve(p *simtime.Proc, k Key) (Mapping, bool, uint64, error) {
+	cs := r.s.Owner(k)
+	res := r.call(p, cs, "controller.remote.resolve", func(q *simtime.Proc) any {
+		m, ok, ep, err := r.s.resolveOn(q, cs, k)
+		return remoteResolve{m: m, ok: ok, ep: ep, err: err}
+	}).(remoteResolve)
+	return res.m, res.ok, res.ep, res.err
+}
+
+type remoteRenew struct {
+	ep  uint64
+	err error
+}
+
+// Renew proxies a lease renewal to the owning shard's engine.
+func (r *Remote) Renew(p *simtime.Proc, k Key, m Mapping) (uint64, error) {
+	cs := r.s.Owner(k)
+	res := r.call(p, cs, "controller.remote.renew", func(q *simtime.Proc) any {
+		ep, err := r.s.renewOn(q, cs, k, m)
+		return remoteRenew{ep: ep, err: err}
+	}).(remoteRenew)
+	return res.ep, res.err
+}
+
+type remoteBatch struct {
+	res []BatchResult
+	ep  uint64
+	err error
+}
+
+// BatchLookupShard proxies one shard's batch to its engine.
+func (r *Remote) BatchLookupShard(p *simtime.Proc, shard int, keys []Key, renew []RenewReq) ([]BatchResult, uint64, error) {
+	res := r.call(p, shard, "controller.remote.batch", func(q *simtime.Proc) any {
+		out, ep, err := r.s.batchOn(q, shard, keys, renew)
+		return remoteBatch{res: out, ep: ep, err: err}
+	}).(remoteBatch)
+	return res.res, res.ep, res.err
+}
+
+type remoteDump struct {
+	dump map[Key]Mapping
+	ep   uint64
+	err  error
+}
+
+// FetchShardDump proxies one shard's tenant dump to its engine.
+func (r *Remote) FetchShardDump(p *simtime.Proc, shard int, vni uint32) (map[Key]Mapping, uint64, error) {
+	res := r.call(p, shard, "controller.remote.dump", func(q *simtime.Proc) any {
+		dump, ep, err := r.s.dumpOn(q, shard, vni)
+		return remoteDump{dump: dump, ep: ep, err: err}
+	}).(remoteDump)
+	return res.dump, res.ep, res.err
+}
+
+// Suspend proxies the migration freeze announcement.
+func (r *Remote) Suspend(p *simtime.Proc, k Key) error {
+	cs := r.s.Owner(k)
+	res := r.call(p, cs, "controller.remote.suspend", func(q *simtime.Proc) any {
+		return remoteRenew{err: r.s.suspendOn(q, cs, k)}
+	}).(remoteRenew)
+	return res.err
+}
+
+// Move proxies the migration commit.
+func (r *Remote) Move(p *simtime.Proc, k Key, m Mapping, qpnMap map[uint32]uint32) error {
+	cs := r.s.Owner(k)
+	res := r.call(p, cs, "controller.remote.move", func(q *simtime.Proc) any {
+		return remoteRenew{err: r.s.moveOn(q, cs, k, m, qpnMap)}
+	}).(remoteRenew)
+	return res.err
+}
+
+// mirrorSub is the host-side view of one shard's push channel under
+// Remote. Seq advances as notifications are relayed onto the host shard,
+// so it equals the last sequence the subscriber has seen and Pending is
+// always zero: the lease-round dropped-push audit (which compares the
+// controller-side seq against deliveries) degrades to a no-op — gap
+// detection still works through Notify.Seq, and the shard-scoped resync
+// repairs anything it finds.
+type mirrorSub struct {
+	seq uint64
+	hwm int
+}
+
+func (m *mirrorSub) Seq() uint64    { return m.seq }
+func (m *mirrorSub) Pending() int   { return 0 }
+func (m *mirrorSub) HighWater() int { return m.hwm }
+
+// SubscribeShards subscribes fn to every shard, relaying each notification
+// over that shard's exchange onto the host's engine.
+func (r *Remote) SubscribeShards(fn func(shard int, n Notify)) []SubView {
+	out := make([]SubView, len(r.chans))
+	for cs := range r.chans {
+		cs := cs
+		ch := r.chans[cs]
+		ms := &mirrorSub{}
+		out[cs] = ms
+		ch.to.Send(r.hostEng.Now().Add(r.la), func() {
+			r.s.subscribeOn(cs, func(n Notify) {
+				ch.from.Send(ch.eng.Now().Add(r.la), func() {
+					if n.Seq > ms.seq {
+						ms.seq = n.Seq
+					}
+					fn(cs, n)
+				})
+			})
+		})
+	}
+	return out
+}

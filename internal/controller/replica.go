@@ -1,0 +1,134 @@
+package controller
+
+import (
+	"masq/internal/simtime"
+)
+
+// replRec is one replication-log record: a table write the primary
+// accepted, shipped to the standby in accept order.
+type replRec struct {
+	seq     uint64
+	k       Key
+	e       entry
+	removed bool
+}
+
+// Replica is one shard's standby: a shadow mapping table fed by a
+// push-replicated log of the primary's accepted writes. Each record spends
+// ReplDelay on the replication channel (plus any chaos-injected lag
+// window), so the standby trails the primary by the channel's backlog —
+// exactly the writes a failover can lose. Lease expiry is NOT replicated:
+// records carry the lease deadline and the replica's table expires lazily,
+// like the primary's.
+type Replica struct {
+	eng   *simtime.Engine
+	delay simtime.Duration
+
+	q       *simtime.Queue[replRec]
+	table   map[Key]entry
+	logSeq  uint64 // records accepted by the primary
+	applied uint64 // records folded into the shadow table
+	gen     uint64 // truncation generation: fences the in-flight record
+	fenced  uint64 // records dropped by truncation (lost writes)
+
+	// Chaos replica-lag window: every record applied before lagUntil pays
+	// lagExtra on top of the base delay.
+	lagExtra simtime.Duration
+	lagUntil simtime.Time
+}
+
+// newReplica builds a standby and starts its apply pump on the shard's
+// engine.
+func newReplica(eng *simtime.Engine, delay simtime.Duration) *Replica {
+	r := &Replica{
+		eng:   eng,
+		delay: delay,
+		q:     simtime.NewQueue[replRec](eng),
+		table: make(map[Key]entry),
+	}
+	eng.Spawn("controller.replica", func(p *simtime.Proc) {
+		for {
+			rec := r.q.Get(p)
+			gen := r.gen
+			d := r.delay
+			if p.Now() < r.lagUntil {
+				d += r.lagExtra
+			}
+			if d > 0 {
+				p.Sleep(d)
+			}
+			if r.gen != gen {
+				// A promotion truncated the log while this record was on
+				// the channel: it belongs to the deposed primary's epoch
+				// and must not contaminate the promoted table.
+				r.fenced++
+				continue
+			}
+			if rec.removed {
+				delete(r.table, rec.k)
+			} else {
+				r.table[rec.k] = rec.e
+			}
+			r.applied = rec.seq
+		}
+	})
+	return r
+}
+
+// append logs one accepted primary write (the Controller mutation hook).
+func (r *Replica) append(k Key, e entry, removed bool) {
+	r.logSeq++
+	r.q.Put(replRec{seq: r.logSeq, k: k, e: e, removed: removed})
+}
+
+// Lag returns the replication backlog: records accepted by the primary but
+// not yet applied on the standby.
+func (r *Replica) Lag() int { return int(r.logSeq - r.applied) }
+
+// Fenced returns the number of log records dropped by truncations — writes
+// the deposed primary accepted that never survived a failover.
+func (r *Replica) Fenced() uint64 { return r.fenced }
+
+// truncate drops every un-applied log record (queued or on the channel)
+// and returns how many were queued. It runs at promotion: the replicated
+// prefix becomes the new primary's table and the un-applied tail is fenced.
+func (r *Replica) truncate() int {
+	n := 0
+	for {
+		if _, ok := r.q.TryGet(); !ok {
+			break
+		}
+		n++
+	}
+	r.fenced += uint64(n)
+	r.gen++ // fences the record (if any) already on the channel
+	r.applied = r.logSeq
+	return n
+}
+
+// snapshot copies the shadow table — the state a promotion adopts.
+func (r *Replica) snapshot() map[Key]entry {
+	out := make(map[Key]entry, len(r.table))
+	for k, e := range r.table {
+		out[k] = e
+	}
+	return out
+}
+
+// reset re-images the standby from an authoritative table (a fresh standby
+// synced from a just-promoted or just-restarted primary) and discards any
+// un-applied log.
+func (r *Replica) reset(table map[Key]entry) {
+	r.truncate()
+	r.table = make(map[Key]entry, len(table))
+	for k, e := range table {
+		r.table[k] = e
+	}
+}
+
+// SetLagWindow injects replication lag: until the given instant every
+// applied record pays extra on top of the base delay (chaos replica-lag).
+func (r *Replica) SetLagWindow(until simtime.Time, extra simtime.Duration) {
+	r.lagUntil = until
+	r.lagExtra = extra
+}

@@ -1,0 +1,155 @@
+package controller
+
+import (
+	"testing"
+
+	"masq/internal/packet"
+	"masq/internal/simtime"
+)
+
+func replEntry(i int) (Key, entry) {
+	return keyN(9, i), entry{m: mapping(packet.NewIP(172, 16, 0, byte(i+1))), epoch: 1}
+}
+
+// TestReplicaAppliesWithDelay: records fold into the shadow table one
+// ReplDelay apart, and Lag drains to zero.
+func TestReplicaAppliesWithDelay(t *testing.T) {
+	eng := simtime.NewEngine()
+	r := newReplica(eng, simtime.Us(10))
+	const n = 5
+	for i := 0; i < n; i++ {
+		k, e := replEntry(i)
+		r.append(k, e, false)
+	}
+	if lag := r.Lag(); lag != n {
+		t.Fatalf("lag before apply = %d, want %d", lag, n)
+	}
+	eng.Spawn("watch", func(p *simtime.Proc) {
+		p.Sleep(simtime.Us(10*n - 5)) // one record still on the channel
+		if lag := r.Lag(); lag != 1 {
+			t.Errorf("lag mid-drain = %d, want 1", lag)
+		}
+		p.Sleep(simtime.Us(10))
+		if lag := r.Lag(); lag != 0 {
+			t.Errorf("lag after drain = %d, want 0", lag)
+		}
+	})
+	eng.Run()
+	snap := r.snapshot()
+	if len(snap) != n {
+		t.Fatalf("shadow table holds %d entries, want %d", len(snap), n)
+	}
+	for i := 0; i < n; i++ {
+		k, e := replEntry(i)
+		if got, ok := snap[k]; !ok || got.m != e.m {
+			t.Fatalf("entry %d missing or wrong in snapshot", i)
+		}
+	}
+}
+
+// TestReplicaRemoveRecords: a removed=true record deletes from the shadow
+// table.
+func TestReplicaRemoveRecords(t *testing.T) {
+	eng := simtime.NewEngine()
+	r := newReplica(eng, simtime.Us(10))
+	k, e := replEntry(0)
+	r.append(k, e, false)
+	r.append(k, entry{}, true)
+	eng.Run()
+	if snap := r.snapshot(); len(snap) != 0 {
+		t.Fatalf("shadow table holds %d entries after remove, want 0", len(snap))
+	}
+	if lag := r.Lag(); lag != 0 {
+		t.Fatalf("lag = %d after drain", lag)
+	}
+}
+
+// TestReplicaTruncateFencesQueuedAndInFlight: truncation at the promotion
+// instant drops both the queued records and the one already on the channel;
+// none of them contaminate the promoted table.
+func TestReplicaTruncateFencesQueuedAndInFlight(t *testing.T) {
+	eng := simtime.NewEngine()
+	r := newReplica(eng, simtime.Us(10))
+	k0, e0 := replEntry(0)
+	r.append(k0, e0, false)
+	eng.Spawn("promote", func(p *simtime.Proc) {
+		p.Sleep(simtime.Us(15)) // record 0 applied at +10
+		for i := 1; i < 4; i++ {
+			k, e := replEntry(i)
+			r.append(k, e, false)
+		}
+		p.Sleep(simtime.Us(5)) // record 1 is now on the channel, 2..3 queued
+		queued := r.truncate()
+		if queued != 2 {
+			t.Errorf("truncate drained %d queued records, want 2", queued)
+		}
+		p.Sleep(simtime.Us(20)) // let the in-flight record's sleep expire
+		if got := r.Fenced(); got != 3 {
+			t.Errorf("fenced = %d, want 3 (2 queued + 1 in flight)", got)
+		}
+		snap := r.snapshot()
+		if len(snap) != 1 {
+			t.Errorf("promoted table holds %d entries, want only the applied one", len(snap))
+		}
+		if _, ok := snap[k0]; !ok {
+			t.Error("applied record missing from promoted table")
+		}
+		if lag := r.Lag(); lag != 0 {
+			t.Errorf("lag = %d after truncate, want 0", lag)
+		}
+	})
+	eng.Run()
+}
+
+// TestReplicaLagWindow: records applied inside a chaos lag window pay the
+// extra delay; after the window the base delay resumes.
+func TestReplicaLagWindow(t *testing.T) {
+	eng := simtime.NewEngine()
+	r := newReplica(eng, simtime.Us(10))
+	r.SetLagWindow(simtime.Time(0).Add(simtime.Us(100)), simtime.Us(90))
+	k0, e0 := replEntry(0)
+	r.append(k0, e0, false)
+	eng.Spawn("watch", func(p *simtime.Proc) {
+		p.Sleep(simtime.Us(50)) // base delay alone would have applied at +10
+		if lag := r.Lag(); lag != 1 {
+			t.Errorf("lagged record applied early (lag=%d)", lag)
+		}
+		p.Sleep(simtime.Us(60)) // 100µs lagged apply has landed by +110
+		if lag := r.Lag(); lag != 0 {
+			t.Errorf("lagged record never applied (lag=%d)", lag)
+		}
+		// Past the window: back to the base delay.
+		k1, e1 := replEntry(1)
+		r.append(k1, e1, false)
+		p.Sleep(simtime.Us(15))
+		if lag := r.Lag(); lag != 0 {
+			t.Errorf("post-window record still pending (lag=%d)", lag)
+		}
+	})
+	eng.Run()
+}
+
+// TestReplicaReset: a rejoining standby re-images from the authoritative
+// table and discards its stale log.
+func TestReplicaReset(t *testing.T) {
+	eng := simtime.NewEngine()
+	r := newReplica(eng, simtime.Us(10))
+	kOld, eOld := replEntry(0)
+	r.append(kOld, eOld, false) // never applied: reset fences it
+	kNew, eNew := replEntry(1)
+	r.reset(map[Key]entry{kNew: eNew})
+	eng.Run()
+	snap := r.snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("reset table holds %d entries, want 1", len(snap))
+	}
+	if got, ok := snap[kNew]; !ok || got.m != eNew.m {
+		t.Fatal("authoritative entry missing after reset")
+	}
+	if _, ok := snap[kOld]; ok {
+		t.Fatal("stale log record survived reset")
+	}
+	if r.Fenced() == 0 {
+		t.Fatal("reset did not count the discarded record as fenced")
+	}
+}

@@ -1,0 +1,103 @@
+package controller
+
+import (
+	"masq/internal/simtime"
+)
+
+// Service is the control-plane surface backends program against, abstract
+// over how many controller shards stand behind it. A bare *Controller is a
+// one-shard Service (the historical deployment); *Sharded partitions the
+// keyspace across N primaries with standby replicas; *Remote proxies either
+// across DES engine shards.
+//
+// Shard-indexed calls (BatchLookupShard, FetchShardDump) let the caller
+// keep failure isolation: a batch is per owning shard, so one dark shard
+// cannot fail another shard's keys, and the retry policy stays at the edge.
+// Every RPC that reaches a shard returns that shard's epoch as of the reply
+// instant — callers must never read epochs out-of-band, which would race
+// across engine shards under Remote.
+type Service interface {
+	// NumShards returns the number of keyspace shards (1 for a bare
+	// Controller).
+	NumShards() int
+	// Owner maps a key to its owning shard index — pure and immutable, so
+	// callers may group work by shard without an RPC.
+	Owner(k Key) int
+	// RPCParams returns the control-RPC cost model (timeouts, RTT) the
+	// edge uses to plan retries.
+	RPCParams() Params
+
+	// Register/Unregister are vBond's fire-and-forget table updates.
+	Register(k Key, m Mapping)
+	Unregister(k Key)
+
+	// Resolve is one remote lookup attempt against the owning shard. On
+	// success it returns the shard's epoch at the reply instant.
+	Resolve(p *simtime.Proc, k Key) (Mapping, bool, uint64, error)
+	// Renew re-asserts a lease with the owning shard and returns its epoch.
+	Renew(p *simtime.Proc, k Key, m Mapping) (uint64, error)
+	// BatchLookupShard resolves many keys owned by one shard in one RPC,
+	// applying the piggybacked renewals (which must be owned by the same
+	// shard) first.
+	BatchLookupShard(p *simtime.Proc, shard int, keys []Key, renew []RenewReq) ([]BatchResult, uint64, error)
+	// FetchShardDump returns the owning shard's live mappings for one
+	// tenant — a shard-scoped resync snapshot.
+	FetchShardDump(p *simtime.Proc, shard int, vni uint32) (map[Key]Mapping, uint64, error)
+
+	// Suspend/Move are the live-migration freeze and commit RPCs, routed
+	// to the key's owning shard.
+	Suspend(p *simtime.Proc, k Key) error
+	Move(p *simtime.Proc, k Key, m Mapping, qpnMap map[uint32]uint32) error
+
+	// SubscribeShards hooks one push-notification callback per shard
+	// (invoked with the shard index) and returns per-shard channel views
+	// in shard order.
+	SubscribeShards(fn func(shard int, n Notify)) []SubView
+}
+
+// SubView is the read side of one shard's push-notification channel: the
+// fencing metadata a subscriber audits (see Subscription for the concrete
+// single-engine implementation).
+type SubView interface {
+	// Seq returns the highest notification sequence number addressed to
+	// this subscriber.
+	Seq() uint64
+	// Pending returns the current delivery-queue depth.
+	Pending() int
+	// HighWater returns the deepest the delivery queue has ever been.
+	HighWater() int
+}
+
+// ─── Service adapter: a bare Controller is a one-shard Service ───────────
+
+// NumShards returns 1: a bare controller is one shard.
+func (c *Controller) NumShards() int { return 1 }
+
+// Owner returns 0 for every key.
+func (c *Controller) Owner(Key) int { return 0 }
+
+// RPCParams returns the controller's cost model.
+func (c *Controller) RPCParams() Params { return c.P }
+
+// Resolve performs one Lookup and stamps the reply with the epoch at the
+// reply instant (the same value Epoch() would return there).
+func (c *Controller) Resolve(p *simtime.Proc, k Key) (Mapping, bool, uint64, error) {
+	m, ok, err := c.Lookup(p, k)
+	return m, ok, c.epoch, err
+}
+
+// BatchLookupShard delegates to BatchLookup; shard must be 0.
+func (c *Controller) BatchLookupShard(p *simtime.Proc, shard int, keys []Key, renew []RenewReq) ([]BatchResult, uint64, error) {
+	return c.BatchLookup(p, keys, renew)
+}
+
+// FetchShardDump delegates to FetchDump; shard must be 0.
+func (c *Controller) FetchShardDump(p *simtime.Proc, shard int, vni uint32) (map[Key]Mapping, uint64, error) {
+	return c.FetchDump(p, vni)
+}
+
+// SubscribeShards subscribes the callback as shard 0.
+func (c *Controller) SubscribeShards(fn func(shard int, n Notify)) []SubView {
+	sub := c.Subscribe(func(n Notify) { fn(0, n) })
+	return []SubView{sub}
+}

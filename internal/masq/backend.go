@@ -24,7 +24,7 @@ type Backend struct {
 	Mode Mode
 
 	Host *hyper.Host
-	Ctrl *controller.Controller
+	Ctrl controller.Service
 	Fab  *overlay.Fabric
 	CT   *RConntrack
 
@@ -38,24 +38,19 @@ type Backend struct {
 	tenants map[uint32]*rnic.Func // QoS grouping: tenant → VF
 	qpOwner map[uint32]*session   // QPN → owning frontend (wire diagnosis)
 
-	// Controller-survival state. The backend tracks the controller's
-	// reachability and epoch; after an outage it reconverges through one
-	// serialized reconciliation process (see kickReconcile).
-	bonds      []*VBond                 // every vBond this backend created (lease holders)
-	sub        *controller.Subscription // our push-notification channel
-	seeded     map[uint32]bool          // VNIs whose cache is push-down seeded
-	resyncBase map[uint32]uint64        // per-VNI seq superseded by the last resync snapshot
-	epoch      uint64                   // highest controller epoch observed (fences stale pushes)
-	notifSeen  uint64                   // highest notification seq observed (gap detection)
-	ctrlDown   bool                     // last RPC timed out and none succeeded since
-	leasing    bool                     // lease-renewal process running
+	// Controller-survival state. The backend tracks each controller
+	// shard's reachability and epoch independently — a crashed shard arms
+	// grace mode and reconciliation for its slice of the keyspace only —
+	// and funnels all recovery through one serialized reconcile process.
+	bonds   []*VBond        // every vBond this backend created (lease holders)
+	shards  []*ctrlShard    // per controller shard survival state (len = Ctrl.NumShards())
+	seeded  map[uint32]bool // VNIs whose cache is push-down seeded
+	leasing bool            // lease-renewal process running
 
-	// Reconciliation work flags, drained by the single reconcile process.
-	needReassert bool // re-register every live vBond (epoch bump seen)
-	needResync   bool // replay the controller table over the cache
-	reconciling  bool
-	graceConns   []graceConn          // grace-established connections awaiting re-validation
-	graceSeen    map[ConnID]struct{}  // dedup for graceConns
+	// Reconciliation state, drained by the single reconcile process.
+	reconciling bool
+	graceConns  []graceConn         // grace-established connections awaiting re-validation
+	graceSeen   map[ConnID]struct{} // dedup for graceConns
 
 	// Setup fast-path state (see batch.go / pool.go / shared.go).
 	inflight map[controller.Key]*simtime.Event[lookupOutcome] // single-flight per key
@@ -143,22 +138,36 @@ type graceConn struct {
 	m  controller.Mapping
 }
 
-// NewBackend creates the host driver and hooks it to the controller.
-func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabric, p Params, mode Mode) *Backend {
+// ctrlShard is the backend's survival state for one controller shard.
+// Reachability, epoch, and push-stream bookkeeping are per shard, so one
+// shard's crash arms grace mode and reconciliation for its slice of the
+// keyspace while the other shards' leases and caches stay undisturbed.
+type ctrlShard struct {
+	sub          controller.SubView
+	resyncBase   map[uint32]uint64 // per-VNI seq superseded by the last resync snapshot
+	epoch        uint64            // highest epoch observed from this shard
+	notifSeen    uint64            // highest notification seq observed (gap detection)
+	down         bool              // last RPC to this shard timed out, none succeeded since
+	needReassert bool              // re-register this shard's vBonds (epoch bump seen)
+	needResync   bool              // replay this shard's table slice over the cache
+}
+
+// NewBackend creates the host driver and hooks it to the controller (a
+// single *controller.Controller or a sharded/remote Service front).
+func NewBackend(host *hyper.Host, ctrl controller.Service, fab *overlay.Fabric, p Params, mode Mode) *Backend {
 	b := &Backend{
-		P:       p,
-		Mode:    mode,
-		Host:    host,
-		Ctrl:    ctrl,
-		Fab:     fab,
-		CT:      NewRConntrack(p, host.Dev),
-		VIO:        virtio.DefaultParams(),
-		cache:      make(map[controller.Key]cacheEntry),
-		tenants:    make(map[uint32]*rnic.Func),
-		qpOwner:    make(map[uint32]*session),
-		seeded:     make(map[uint32]bool),
-		resyncBase: make(map[uint32]uint64),
-		graceSeen:  make(map[ConnID]struct{}),
+		P:         p,
+		Mode:      mode,
+		Host:      host,
+		Ctrl:      ctrl,
+		Fab:       fab,
+		CT:        NewRConntrack(p, host.Dev),
+		VIO:       virtio.DefaultParams(),
+		cache:     make(map[controller.Key]cacheEntry),
+		tenants:   make(map[uint32]*rnic.Func),
+		qpOwner:   make(map[uint32]*session),
+		seeded:    make(map[uint32]bool),
+		graceSeen: make(map[ConnID]struct{}),
 
 		inflight:    make(map[controller.Key]*simtime.Event[lookupOutcome]),
 		pools:       make(map[uint32]*qpPool),
@@ -187,7 +196,12 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 			b.CT.Delete(p, qpn)
 		})
 	})
-	b.sub = ctrl.Subscribe(b.onNotify)
+	for i := 0; i < ctrl.NumShards(); i++ {
+		b.shards = append(b.shards, &ctrlShard{resyncBase: make(map[uint32]uint64)})
+	}
+	for i, sub := range ctrl.SubscribeShards(b.onNotify) {
+		b.shards[i].sub = sub
+	}
 	return b
 }
 
@@ -203,23 +217,27 @@ func NewBackend(host *hyper.Host, ctrl *controller.Controller, fab *overlay.Fabr
 //   - supersede fence: a notification older than the last resync snapshot
 //     for its VNI is already folded into the cache (applying it would
 //     regress the entry), so it is dropped.
-func (b *Backend) onNotify(n controller.Notify) {
-	if n.Epoch < b.epoch {
+//
+// All fencing state is per controller shard: epochs, sequence numbers, and
+// resync fences from different shards are independent counters.
+func (b *Backend) onNotify(shard int, n controller.Notify) {
+	cs := b.shards[shard]
+	if n.Epoch < cs.epoch {
 		b.Stats.FencedNotifies++
 		return
 	}
-	if n.Epoch > b.epoch {
-		b.observeEpoch(n.Epoch)
+	if n.Epoch > cs.epoch {
+		b.observeEpoch(shard, n.Epoch)
 	}
-	if n.Seq > b.notifSeen {
-		if n.Seq != b.notifSeen+1 {
+	if n.Seq > cs.notifSeen {
+		if n.Seq != cs.notifSeen+1 {
 			b.Stats.NotifyGaps++
-			b.needResync = true
+			cs.needResync = true
 			b.kickReconcile()
 		}
-		b.notifSeen = n.Seq
+		cs.notifSeen = n.Seq
 	}
-	if n.Seq <= b.resyncBase[n.Key.VNI] {
+	if n.Seq <= cs.resyncBase[n.Key.VNI] {
 		b.Stats.FencedNotifies++
 		return
 	}
@@ -334,7 +352,7 @@ func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (cont
 	e, ok := b.cache[k]
 	sp.End(p)
 	if ok {
-		if !b.ctrlDown || b.P.GraceTTL <= 0 {
+		if !b.shards[b.Ctrl.Owner(k)].down || b.P.GraceTTL <= 0 {
 			b.Stats.CacheHits++
 			b.Rec.Add("rconnrename.cache_hits", 1)
 			return e.m, false, nil
@@ -366,9 +384,10 @@ func (b *Backend) resolveGID(p *simtime.Proc, vni uint32, vgid packet.GID) (cont
 // the same timeout — and doubling is clamped at RetryBackoffMax so a large
 // QueryRetries cannot overflow simtime.Duration.
 func (b *Backend) retryPlan() (backoff, limit simtime.Duration) {
-	timeout := b.Ctrl.P.QueryTimeout
+	cp := b.Ctrl.RPCParams()
+	timeout := cp.QueryTimeout
 	if timeout <= 0 {
-		timeout = 10 * b.Ctrl.P.QueryRTT
+		timeout = 10 * cp.QueryRTT
 	}
 	backoff = b.P.RetryBackoff
 	if backoff <= 0 {
@@ -400,17 +419,18 @@ func (b *Backend) lookupWithRetry(p *simtime.Proc, k controller.Key) (controller
 		attempts = 1
 	}
 	backoff, limit := b.retryPlan()
+	shard := b.Ctrl.Owner(k)
 	for i := 1; ; i++ {
-		m, ok, err := b.Ctrl.Lookup(p, k)
+		m, ok, ep, err := b.Ctrl.Resolve(p, k)
 		if err == nil {
-			b.ctrlOK(b.Ctrl.Epoch())
+			b.ctrlOK(shard, ep)
 			if !ok {
 				return controller.Mapping{}, fmt.Errorf("masq: no mapping for vGID %v in VNI %d", k.VGID, k.VNI)
 			}
 			b.cacheStore(k, m)
 			return m, nil
 		}
-		b.ctrlFail()
+		b.ctrlFail(shard)
 		if i >= attempts {
 			b.Stats.QueryFailures++
 			return controller.Mapping{}, fmt.Errorf("masq: resolving vGID %v in VNI %d (%d attempts): %w", k.VGID, k.VNI, i, err)
@@ -451,13 +471,35 @@ func (b *Backend) mappingLive(vni uint32, vip packet.IP, m controller.Mapping) b
 // connection re-validation after an outage — through one reconcile
 // process, so recovery actions never interleave.
 
-// Epoch returns the highest controller epoch this backend has observed
-// (zero before first contact).
-func (b *Backend) Epoch() uint64 { return b.epoch }
+// Epoch returns the highest controller epoch this backend has observed on
+// any shard (zero before first contact).
+func (b *Backend) Epoch() uint64 {
+	var max uint64
+	for _, cs := range b.shards {
+		if cs.epoch > max {
+			max = cs.epoch
+		}
+	}
+	return max
+}
+
+// ShardEpoch returns the highest epoch observed from one controller shard.
+func (b *Backend) ShardEpoch(shard int) uint64 { return b.shards[shard].epoch }
 
 // CtrlDown reports the backend's current view of controller liveness: true
-// between a timed-out RPC and the next successful contact.
-func (b *Backend) CtrlDown() bool { return b.ctrlDown }
+// while any controller shard is between a timed-out RPC and its next
+// successful contact.
+func (b *Backend) CtrlDown() bool {
+	for _, cs := range b.shards {
+		if cs.down {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardDown reports one controller shard's liveness view.
+func (b *Backend) ShardDown(shard int) bool { return b.shards[shard].down }
 
 // CacheSnapshot copies the mapping cache — masqctl inspection and test
 // assertions that cached state agrees with the controller's table.
@@ -469,53 +511,69 @@ func (b *Backend) CacheSnapshot() map[controller.Key]controller.Mapping {
 	return out
 }
 
-// observeEpoch folds a controller epoch stamped on an RPC reply or push
-// notification into the backend's view. The first contact just records the
-// epoch; any later bump is a restart: every mapping the controller knew is
-// gone, so the backend must re-assert its own registrations and (in
-// push-down mode) resynchronize its cache.
-func (b *Backend) observeEpoch(ep uint64) {
-	if ep <= b.epoch {
+// observeEpoch folds a controller shard's epoch, stamped on an RPC reply or
+// push notification, into the backend's view. The first contact just
+// records the epoch; any later bump is that shard restarting (or failing
+// over): every mapping it knew is gone, so the backend must re-assert the
+// registrations it owns and (in push-down mode) resynchronize its slice of
+// the cache. Other shards' state is untouched.
+func (b *Backend) observeEpoch(shard int, ep uint64) {
+	cs := b.shards[shard]
+	if ep <= cs.epoch {
 		return
 	}
-	first := b.epoch == 0
-	b.epoch = ep
+	first := cs.epoch == 0
+	cs.epoch = ep
 	if first {
 		return
 	}
 	b.Stats.EpochBumps++
-	b.needReassert = true
+	cs.needReassert = true
 	if b.P.PushDown {
-		b.needResync = true
+		cs.needResync = true
 	}
-	// A restarted controller may re-key the world: warm QPs were pre-staged
-	// against the old epoch's view, and shared connections multiplex flows
-	// the new controller has never vouched for. Drop both.
+	// A restarted shard may re-key its slice of the world: warm QPs were
+	// pre-staged against the old epoch's view, and shared connections
+	// multiplex flows the new incarnation has never vouched for. Drop both
+	// (coarse — pools and shared carriers are not keyed by shard).
 	b.flushSharedConns()
 	b.spawnPoolFlush()
 	b.kickReconcile()
 }
 
-// ctrlOK records a successful controller contact: the outage (if any) is
-// over, the reply's epoch may reveal a restart, and pending recovery work
-// can proceed.
-func (b *Backend) ctrlOK(ep uint64) {
-	b.ctrlDown = false
-	b.observeEpoch(ep)
+// ctrlOK records a successful contact with one controller shard: its
+// outage (if any) is over, the reply's epoch may reveal a restart, and
+// pending recovery work against it can proceed.
+func (b *Backend) ctrlOK(shard int, ep uint64) {
+	b.shards[shard].down = false
+	b.observeEpoch(shard, ep)
 	b.kickReconcile()
 }
 
-// ctrlFail records a timed-out controller RPC. While ctrlDown holds,
-// grace mode serves renames from fresh cache entries and the reconcile
-// process stays parked (retrying into a dead controller only burns time).
-func (b *Backend) ctrlFail() { b.ctrlDown = true }
+// ctrlFail records a timed-out RPC against one controller shard. While the
+// shard is down, grace mode serves its keys from fresh cache entries and
+// the reconcile process skips its work (retrying into a dead shard only
+// burns time). Other shards keep operating normally.
+func (b *Backend) ctrlFail(shard int) { b.shards[shard].down = true }
 
-// pendingReconcile reports whether recovery work is actionable now.
+// pendingReconcile reports whether recovery work is actionable now: any
+// reachable shard with reassert/resync work, or any grace connection whose
+// owning shard is reachable again.
 func (b *Backend) pendingReconcile() bool {
-	if b.ctrlDown {
-		return false
+	for _, cs := range b.shards {
+		if cs.down {
+			continue
+		}
+		if cs.needReassert || cs.needResync {
+			return true
+		}
 	}
-	return b.needReassert || b.needResync || len(b.graceConns) > 0
+	for _, g := range b.graceConns {
+		if !b.shards[b.Ctrl.Owner(g.k)].down {
+			return true
+		}
+	}
+	return false
 }
 
 // kickReconcile starts the reconciliation process unless it is already
@@ -530,48 +588,59 @@ func (b *Backend) kickReconcile() {
 	b.Host.Eng.Spawn("masq.reconcile", func(p *simtime.Proc) {
 		defer func() { b.reconciling = false }()
 		for b.pendingReconcile() {
-			switch {
-			case b.needReassert:
-				b.needReassert = false
-				b.reassert(p)
-			case b.needResync:
-				b.needResync = false
-				b.resync(p)
-			default:
+			progressed := false
+			for shard, cs := range b.shards {
+				if cs.down {
+					continue
+				}
+				switch {
+				case cs.needReassert:
+					cs.needReassert = false
+					b.reassert(p, shard)
+					progressed = true
+				case cs.needResync:
+					cs.needResync = false
+					b.resync(p, shard)
+					progressed = true
+				}
+			}
+			if !progressed {
 				b.revalidateGrace(p)
 			}
 		}
-		// If work remains it is because the controller went down again;
-		// the next successful contact re-kicks us.
+		// If work remains it is because a shard went down again; the next
+		// successful contact re-kicks us.
 	})
 }
 
-// renewBond re-asserts one registration via the lease-renewal RPC.
+// renewBond re-asserts one registration via the lease-renewal RPC to the
+// key's owning shard.
 func (b *Backend) renewBond(p *simtime.Proc, k controller.Key, m controller.Mapping) bool {
+	shard := b.Ctrl.Owner(k)
 	ep, err := b.Ctrl.Renew(p, k, m)
 	if err != nil {
 		b.Stats.LeaseRenewFailures++
-		b.ctrlFail()
+		b.ctrlFail(shard)
 		return false
 	}
 	b.Stats.LeaseRenewals++
-	b.ctrlOK(ep)
+	b.ctrlOK(shard, ep)
 	return true
 }
 
-// reassert re-registers every live vBond with the (restarted) controller —
-// the edge-driven half of reconvergence: the union of these renewals
-// across all hosts rebuilds the controller's table.
-func (b *Backend) reassert(p *simtime.Proc) {
+// reassert re-registers every live vBond owned by one (restarted)
+// controller shard — the edge-driven half of reconvergence: the union of
+// these renewals across all hosts rebuilds that shard's table.
+func (b *Backend) reassert(p *simtime.Proc, shard int) {
 	for _, vb := range b.bonds {
 		k, m, ok := vb.Registration()
-		if !ok {
+		if !ok || b.Ctrl.Owner(k) != shard {
 			continue
 		}
 		if !b.renewBond(p, k, m) {
 			// Down again: keep the flag so the next contact retries the
 			// whole pass (renewals are idempotent).
-			b.needReassert = true
+			b.shards[shard].needReassert = true
 			return
 		}
 	}
@@ -595,30 +664,33 @@ func (b *Backend) resyncVNIs() []uint32 {
 	return out
 }
 
-// resync replays the controller's table over the cache, one charged
-// FetchDump per tenant: entries the controller no longer has are dropped,
-// the rest are folded in fresh. It runs after a notification gap (lost
-// pushes), after an epoch bump in push-down mode, and as the initial
-// push-down seeding.
-func (b *Backend) resync(p *simtime.Proc) {
+// resync replays one controller shard's table slice over the cache, one
+// charged dump per tenant: entries the shard no longer has are dropped,
+// the rest are folded in fresh. Only cache keys the shard owns are
+// touched, so a resync against a failed-over shard cannot disturb
+// mappings vouched for by healthy shards. It runs after a notification
+// gap (lost pushes), after an epoch bump in push-down mode, and as the
+// initial push-down seeding.
+func (b *Backend) resync(p *simtime.Proc, shard int) {
+	cs := b.shards[shard]
 	for _, vni := range b.resyncVNIs() {
-		dump, ep, err := b.Ctrl.FetchDump(p, vni)
+		dump, ep, err := b.Ctrl.FetchShardDump(p, shard, vni)
 		if err != nil {
-			b.needResync = true
-			b.ctrlFail()
+			cs.needResync = true
+			b.ctrlFail(shard)
 			return
 		}
 		// The snapshot supersedes every notification addressed before this
 		// instant: record the fence so late deliveries for this VNI cannot
 		// regress the cache (see onNotify), and close any seq gap opened
 		// by wiped or dropped pushes.
-		b.resyncBase[vni] = b.sub.Seq()
-		if b.sub.Seq() > b.notifSeen {
-			b.notifSeen = b.sub.Seq()
+		cs.resyncBase[vni] = cs.sub.Seq()
+		if cs.sub.Seq() > cs.notifSeen {
+			cs.notifSeen = cs.sub.Seq()
 		}
-		b.ctrlOK(ep)
+		b.ctrlOK(shard, ep)
 		for k := range b.cache {
-			if k.VNI != vni {
+			if k.VNI != vni || b.Ctrl.Owner(k) != shard {
 				continue
 			}
 			if _, ok := dump[k]; !ok {
@@ -659,14 +731,21 @@ func (b *Backend) revalidateGrace(p *simtime.Proc) {
 			delete(b.graceSeen, g.id)
 			continue // already torn down through another path
 		}
-		m, ok, err := b.Ctrl.Lookup(p, g.k)
+		shard := b.Ctrl.Owner(g.k)
+		if b.shards[shard].down {
+			// This connection's owning shard is still dark: keep it queued
+			// for the shard's return without blocking the others.
+			b.graceConns = append(b.graceConns, g)
+			continue
+		}
+		m, ok, ep, err := b.Ctrl.Resolve(p, g.k)
 		if err != nil {
-			b.ctrlFail()
+			b.ctrlFail(shard)
 			// Down again mid-pass: requeue the unprocessed tail.
 			b.graceConns = append(pending[i:], b.graceConns...)
 			return
 		}
-		b.ctrlOK(b.Ctrl.Epoch())
+		b.ctrlOK(shard, ep)
 		delete(b.graceSeen, g.id)
 		if ok && m == g.m && b.mappingLive(g.id.VNI, g.id.DstVIP, m) {
 			b.Stats.GraceRevalidated++
@@ -681,12 +760,15 @@ func (b *Backend) revalidateGrace(p *simtime.Proc) {
 
 // StartLeaseRenewal runs the per-host lease-renewal process until the
 // given horizon: every LeaseRenewEvery, each live vBond re-asserts its
-// registration via Renew. Renewal doubles as the backend's failure
-// detector — a timed-out renewal marks the controller down (arming grace
-// mode), the first success after an outage reveals epoch bumps, and a
-// round whose reply seq is ahead of everything received with an empty
-// delivery queue means pushes were lost in flight, scheduling a resync.
-// The process is bounded by the horizon so Engine.Run still quiesces.
+// registration via Renew against its owning controller shard. Renewal
+// waves fan out per shard — bonds are grouped by owner, and a timed-out
+// renewal stops hammering only that shard (arming grace mode for its
+// keys) while the other shards' renewals proceed. Renewal doubles as the
+// backend's failure detector: the first success after an outage reveals
+// epoch bumps, and a round whose reply seq is ahead of everything
+// received with an empty delivery queue means pushes were lost in
+// flight, scheduling a shard-scoped resync. The process is bounded by
+// the horizon so Engine.Run still quiesces.
 func (b *Backend) StartLeaseRenewal(until simtime.Time) {
 	if b.leasing {
 		return
@@ -703,24 +785,27 @@ func (b *Backend) StartLeaseRenewal(until simtime.Time) {
 				return
 			}
 			p.Sleep(period)
-			contacted := false
-			for _, vb := range b.bonds {
-				k, m, ok := vb.Registration()
-				if !ok {
-					continue
+			for shard, cs := range b.shards {
+				contacted := false
+				for _, vb := range b.bonds {
+					k, m, ok := vb.Registration()
+					if !ok || b.Ctrl.Owner(k) != shard {
+						continue
+					}
+					if !b.renewBond(p, k, m) {
+						break // shard down: stop hammering it, try next round
+					}
+					contacted = true
 				}
-				if !b.renewBond(p, k, m) {
-					break // down: stop hammering, try again next round
+				if contacted && cs.sub.Seq() > cs.notifSeen && cs.sub.Pending() == 0 {
+					// Everything addressed to us should be delivered or
+					// still queued; an advanced seq over an empty queue
+					// means pushes were dropped in flight. Lease-driven
+					// repair: resync this shard's slice.
+					b.Stats.NotifyGaps++
+					cs.needResync = true
+					b.kickReconcile()
 				}
-				contacted = true
-			}
-			if contacted && b.sub.Seq() > b.notifSeen && b.sub.Pending() == 0 {
-				// Everything addressed to us should be delivered or still
-				// queued; an advanced seq over an empty queue means pushes
-				// were dropped in flight. Lease-driven repair: resync.
-				b.Stats.NotifyGaps++
-				b.needResync = true
-				b.kickReconcile()
 			}
 		}
 	})
@@ -849,7 +934,9 @@ func (b *Backend) NewFrontend(vm *hyper.VM, vni uint32) (*Frontend, error) {
 		// + per-entry serialization) and fails like any RPC if the
 		// controller is unreachable — a later reconciliation retries.
 		b.seeded[vni] = true
-		b.needResync = true
+		for _, cs := range b.shards {
+			cs.needResync = true
+		}
 		b.kickReconcile()
 	}
 

@@ -68,53 +68,68 @@ func (b *Backend) batchLeader(p *simtime.Proc) {
 }
 
 // runBatch resolves one batch of keys (plus piggybacked lease renewals) and
-// triggers every waiter with its key's outcome.
+// triggers every waiter with its key's outcome. Keys and renewals are
+// grouped by owning controller shard — one batch RPC per shard that has
+// queued misses, in shard order — so a storm's resolution load spreads
+// across shards and one dead shard fails only its own keys' waiters.
 func (b *Backend) runBatch(p *simtime.Proc, keys []controller.Key) {
-	var renew []controller.RenewReq
+	n := b.Ctrl.NumShards()
+	shardKeys := make([][]controller.Key, n)
+	for _, k := range keys {
+		s := b.Ctrl.Owner(k)
+		shardKeys[s] = append(shardKeys[s], k)
+	}
+	shardRenew := make([][]controller.RenewReq, n)
 	for _, vb := range b.bonds {
 		if k, m, ok := vb.Registration(); ok {
-			renew = append(renew, controller.RenewReq{K: k, M: m})
+			s := b.Ctrl.Owner(k)
+			shardRenew[s] = append(shardRenew[s], controller.RenewReq{K: k, M: m})
 		}
 	}
-	results, err := b.batchLookupWithRetry(p, keys, renew)
-	b.Stats.BatchRPCs++
-	b.Stats.BatchedLookups += uint64(len(keys))
-	if n := uint64(len(keys)); n > b.Stats.BatchMax {
-		b.Stats.BatchMax = n
-	}
-	for i, k := range keys {
-		ev := b.inflight[k]
-		delete(b.inflight, k)
-		var out lookupOutcome
-		switch {
-		case err != nil:
-			out.err = fmt.Errorf("masq: batched resolve of vGID %v in VNI %d: %w", k.VGID, k.VNI, err)
-		case !results[i].OK:
-			out.err = fmt.Errorf("masq: no mapping for vGID %v in VNI %d", k.VGID, k.VNI)
-		default:
-			out.m = results[i].M
-			b.cacheStore(k, out.m)
+	for shard, ks := range shardKeys {
+		if len(ks) == 0 {
+			continue // renewals ride only on batches the host sends anyway
 		}
-		ev.Trigger(out)
+		results, err := b.batchLookupWithRetry(p, shard, ks, shardRenew[shard])
+		b.Stats.BatchRPCs++
+		b.Stats.BatchedLookups += uint64(len(ks))
+		if n := uint64(len(ks)); n > b.Stats.BatchMax {
+			b.Stats.BatchMax = n
+		}
+		for i, k := range ks {
+			ev := b.inflight[k]
+			delete(b.inflight, k)
+			var out lookupOutcome
+			switch {
+			case err != nil:
+				out.err = fmt.Errorf("masq: batched resolve of vGID %v in VNI %d: %w", k.VGID, k.VNI, err)
+			case !results[i].OK:
+				out.err = fmt.Errorf("masq: no mapping for vGID %v in VNI %d", k.VGID, k.VNI)
+			default:
+				out.m = results[i].M
+				b.cacheStore(k, out.m)
+			}
+			ev.Trigger(out)
+		}
 	}
 }
 
-// batchLookupWithRetry is lookupWithRetry's shape applied to the batch RPC:
-// same attempt budget, same clamped exponential backoff.
-func (b *Backend) batchLookupWithRetry(p *simtime.Proc, keys []controller.Key, renew []controller.RenewReq) ([]controller.BatchResult, error) {
+// batchLookupWithRetry is lookupWithRetry's shape applied to one shard's
+// batch RPC: same attempt budget, same clamped exponential backoff.
+func (b *Backend) batchLookupWithRetry(p *simtime.Proc, shard int, keys []controller.Key, renew []controller.RenewReq) ([]controller.BatchResult, error) {
 	attempts := b.P.QueryRetries
 	if attempts < 1 {
 		attempts = 1
 	}
 	backoff, limit := b.retryPlan()
 	for i := 1; ; i++ {
-		results, ep, err := b.Ctrl.BatchLookup(p, keys, renew)
+		results, ep, err := b.Ctrl.BatchLookupShard(p, shard, keys, renew)
 		if err == nil {
-			b.ctrlOK(ep)
+			b.ctrlOK(shard, ep)
 			b.Stats.LeaseRenewals += uint64(len(renew))
 			return results, nil
 		}
-		b.ctrlFail()
+		b.ctrlFail(shard)
 		if i >= attempts {
 			b.Stats.QueryFailures++
 			return nil, fmt.Errorf("masq: batch lookup of %d keys (%d attempts): %w", len(keys), i, err)

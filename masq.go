@@ -248,6 +248,17 @@ var (
 	// ChaosCtrlOutage crashes the SDN controller (table and queued pushes
 	// lost) and restarts it empty at a new epoch.
 	ChaosCtrlOutage = chaos.CtrlOutage
+	// ChaosShardCrash crashes one controller shard's primary; with
+	// replication on its standby is promoted (epoch bump on that shard
+	// only) and the restart at `to` is a no-op.
+	ChaosShardCrash = chaos.ShardCrash
+	// ChaosShardPartition isolates one shard's primary for a window: a
+	// blip if healed before the failover detector fires, a failover
+	// (deposed primary rejoins as standby) otherwise.
+	ChaosShardPartition = chaos.ShardPartition
+	// ChaosReplLag slows one shard's standby replication stream for a
+	// window, widening the fenced-write tail a failover would cut.
+	ChaosReplLag = chaos.ReplLag
 	// RandomChaosPlan derives a pure, seeded random fault schedule.
 	RandomChaosPlan = chaos.RandomPlan
 	// WithCtrlCrashes makes RandomChaosPlan append controller outages
